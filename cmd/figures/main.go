@@ -1,0 +1,94 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|all [-scale tiny|small|full] [-seed N]
+//
+// Each id prints the same rows/series the paper reports (see DESIGN.md's
+// per-experiment index). Scales: tiny (seconds, CI), small (minutes,
+// default), full (paper sizes, hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"permcell/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "all", "experiment id: fig5a, fig5b, fig6, fig9, fig10, table1, all")
+	scale := flag.String("scale", "small", "preset scale: tiny, small, full")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	pr, ok := experiments.PresetByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig5a":
+			m := pr.Ms[len(pr.Ms)-1]
+			r, err := experiments.Fig5(pr, m, *seed)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "fig5b":
+			r, err := experiments.Fig5(pr, 2, *seed)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "fig6":
+			r, err := experiments.Fig6(pr, *seed)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "fig9":
+			r, err := experiments.Fig9(pr, *seed)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		case "fig10":
+			for _, m := range pr.Ms {
+				r, err := experiments.Fig10(pr, m, pr.P, *seed)
+				if err != nil {
+					return err
+				}
+				if err := r.Render(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+			return nil
+		case "table1":
+			r, err := experiments.Table1(pr, *seed)
+			if err != nil {
+				return err
+			}
+			return r.Render(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment id %q", name)
+		}
+	}
+
+	ids := []string{*id}
+	if *id == "all" {
+		ids = []string{"fig5a", "fig5b", "fig6", "fig9", "fig10", "table1"}
+	}
+	for _, name := range ids {
+		fmt.Printf("==== %s (scale %s) ====\n", name, pr.Name)
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

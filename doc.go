@@ -1,0 +1,10 @@
+// Package permcell reproduces "Efficiency of Dynamic Load Balancing Based
+// on Permanent Cells for Parallel Molecular Dynamics Simulation"
+// (R. Hayashi, S. Horiguchi, IPPS 2000) as a Go library.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable entry points are cmd/figures, cmd/mdrun,
+// cmd/theory, and the programs under examples/. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation section.
+package permcell

@@ -1,0 +1,56 @@
+// Loadbalance: the paper's headline experiment in miniature. A condensing
+// gas is run twice on a 4x4 PE torus — once with plain domain decomposition
+// (DDM) and once with permanent-cell dynamic load balancing (DLB-DDM) — and
+// the per-step load imbalance of both runs is compared.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"permcell/internal/experiments"
+	"permcell/internal/trace"
+)
+
+func main() {
+	spec := experiments.RunSpec{
+		M: 3, P: 16, Rho: 0.256, Steps: 400,
+		Seed: 7, WellK: 1.5, Wells: 12, Hysteresis: 0.1, StatsEvery: 1,
+	}
+
+	fmt.Println("running DDM (no load balancing)...")
+	ddm, info, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.DLB = true
+	fmt.Println("running DLB-DDM (permanent-cell dynamic load balancing)...")
+	dlb, _, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nN=%d particles, C=%d cells, P=%d PEs, m=%d\n\n", info.N, info.C, spec.P, spec.M)
+	fmt.Printf("%8s  %22s  %22s\n", "", "DDM", "DLB-DDM")
+	fmt.Printf("%8s  %10s %11s  %10s %11s\n", "step", "Tt[pairs]", "(max-min)/avg", "Tt[pairs]", "(max-min)/avg")
+	var sd, sl []float64
+	moved := 0
+	for i, st := range ddm.Stats {
+		dl := dlb.Stats[i]
+		sd = append(sd, st.Imbalance())
+		sl = append(sl, dl.Imbalance())
+		moved += dl.Moved
+		if st.Step%40 == 0 {
+			fmt.Printf("%8d  %10.0f %11.2f  %10.0f %11.2f\n",
+				st.Step, st.WorkMax, st.Imbalance(), dl.WorkMax, dl.Imbalance())
+		}
+	}
+	fmt.Printf("\nDLB moved %d cell columns in total.\n", moved)
+	fmt.Println("\nimbalance (Fmax-Fmin)/Fave over time:")
+	if err := trace.Plot(os.Stdout, []string{"DDM", "DLB-DDM"}, [][]float64{sd, sl}, 72, 14); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: a minimal serial Lennard-Jones simulation with the paper's
+// numerical setup (cell lists, velocity Verlet, reduced Argon units) and an
+// energy-conservation check.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"permcell/internal/mdserial"
+	"permcell/internal/potential"
+	"permcell/internal/units"
+	"permcell/internal/workload"
+)
+
+func main() {
+	// 512 Argon atoms at the paper's supercooled conditions.
+	sys, err := workload.LatticeGas(512, units.PaperDensity, units.PaperTref, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quickstart: N=%d, box %.2f sigma (%.1f nm), T*=%.3f (%.0f K)\n",
+		sys.Set.Len(), sys.Box.L.X,
+		units.LengthToMeters(sys.Box.L.X)*1e9,
+		sys.Set.Temperature(), units.TemperatureToKelvin(sys.Set.Temperature()))
+
+	// Pure NVE: no thermostat, so total energy must be conserved. The
+	// energy-shifted LJ keeps the potential continuous at the cut-off;
+	// with the plain truncated form every cut-off crossing would jump the
+	// energy by V(r_c) and the "conservation" check would only measure
+	// that artifact.
+	lj, err := potential.NewLJ(1, 1, 2.5, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := mdserial.New(mdserial.Config{
+		Box:  sys.Box,
+		Pair: lj,
+		Dt:   0.002,
+	}, sys.Set)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e0 := eng.TotalEnergy()
+	fmt.Printf("initial: E=%.4f (K=%.4f, U=%.4f), %d cells, %d pair evals/step\n",
+		e0, sys.Set.KineticEnergy(), eng.PotentialEnergy(),
+		eng.Grid().NumCells(), eng.PairCount())
+
+	for block := 0; block < 5; block++ {
+		eng.Run(200)
+		e := eng.TotalEnergy()
+		fmt.Printf("step %4d: E=%.4f  T*=%.3f  drift=%+.2e\n",
+			eng.StepCount(), e, eng.Set().Temperature(), (e-e0)/e0)
+	}
+	fmt.Println("the drift stays bounded (~1e-4 here, from the residual force")
+	fmt.Println("discontinuity at the cut-off) instead of growing: velocity Verlet")
+	fmt.Println("is symplectic.")
+}

@@ -1,0 +1,61 @@
+// Shapes: the Section 2.2 analysis behind choosing square-pillar domains —
+// the communication surface (ghost cells imported per step) and the number
+// of neighbor PEs for the three domain shapes of Fig. 2, measured on real
+// decompositions and compared with the closed forms.
+//
+//	go run ./examples/shapes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"permcell/internal/decomp"
+	"permcell/internal/space"
+)
+
+func main() {
+	// A grid that conforms to all three shapes: nc=64 per side, P=64.
+	const nc, p = 64, 64
+	box, err := space.NewCubicBox(nc * 2.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := space.NewGridWithDims(box, nc, nc, nc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("domain-shape communication analysis: C = %d cells, P = %d PEs\n\n", grid.NumCells(), p)
+	fmt.Printf("%16s %14s %14s %14s %12s\n",
+		"shape", "ghost cells", "closed form", "ghost/owned", "neighbor PEs")
+
+	build := []struct {
+		name string
+		mk   func() (*decomp.Decomposition, error)
+		sh   decomp.Shape
+	}{
+		{"plane", func() (*decomp.Decomposition, error) { return decomp.NewPlane(grid, p) }, decomp.Plane},
+		{"square pillar", func() (*decomp.Decomposition, error) { return decomp.NewSquarePillar(grid, p) }, decomp.SquarePillar},
+		{"cube", func() (*decomp.Decomposition, error) { return decomp.NewCube(grid, p) }, decomp.Cube},
+	}
+	owned := grid.NumCells() / p
+	for _, b := range build {
+		d, err := b.mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := decomp.AnalyzeSurface(b.sh, nc, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ghosts := d.GhostCells(0)
+		fmt.Printf("%16s %14d %14d %14.2f %12d\n",
+			b.name, ghosts, a.GhostCells, float64(ghosts)/float64(owned), len(d.NeighborRanks(0)))
+	}
+
+	fmt.Println("\nthe paper picks the square pillar for mid-size machines: far less")
+	fmt.Println("ghost volume than plane slabs, while keeping only 8 neighbor PEs")
+	fmt.Println("(the cube needs 26) — and its simple 8-neighbor structure is what")
+	fmt.Println("makes the permanent-cell DLB protocol possible.")
+}

@@ -1,0 +1,3 @@
+module permcell
+
+go 1.24

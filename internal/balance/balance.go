@@ -1,0 +1,310 @@
+// Package balance compares load-balancing schemes on identical per-cell
+// load streams: static plane decomposition, Kohring's 1-D discrete
+// boundary-shifting method (Parallel Computing 21, 1995 — the related work
+// the paper contrasts against), static square-pillar DDM, and the paper's
+// permanent-cell DLB (driving the real internal/dlb ledgers).
+//
+// The balancers consume a per-cell load array each step (typically derived
+// from cell occupancy of a real MD run) and report the resulting per-PE
+// load distribution, so balancing *capability* can be compared directly,
+// independent of engine implementation details.
+package balance
+
+import (
+	"fmt"
+
+	"permcell/internal/dlb"
+	"permcell/internal/space"
+	"permcell/internal/topology"
+)
+
+// Imbalance summarizes a per-PE load distribution.
+type Imbalance struct {
+	Max, Ave, Min float64
+}
+
+// Spread returns (max-min)/ave, the paper's imbalance measure.
+func (im Imbalance) Spread() float64 {
+	if im.Ave == 0 {
+		return 0
+	}
+	return (im.Max - im.Min) / im.Ave
+}
+
+func summarize(loads []float64) Imbalance {
+	if len(loads) == 0 {
+		return Imbalance{}
+	}
+	im := Imbalance{Max: loads[0], Min: loads[0]}
+	for _, l := range loads {
+		if l > im.Max {
+			im.Max = l
+		}
+		if l < im.Min {
+			im.Min = l
+		}
+		im.Ave += l
+	}
+	im.Ave /= float64(len(loads))
+	return im
+}
+
+// PairLoad converts a cell-occupancy array into a per-cell work estimate:
+// the pair evaluations a cell costs its host, n_i(n_i-1)/2 within the cell
+// plus half the cross pairs with each neighboring cell (the other half is
+// billed to the neighbor's host; cross-PE pairs cost both sides in DDM, but
+// for balancing comparisons the symmetric half-split is the right
+// granularity).
+func PairLoad(g space.Grid, occ []int) []float64 {
+	load := make([]float64, len(occ))
+	var nb []int
+	for c, n := range occ {
+		l := float64(n*(n-1)) / 2
+		nb = g.Neighbors26(c, nb[:0])
+		for _, j := range nb {
+			l += float64(n*occ[j]) / 2
+		}
+		load[c] = l
+	}
+	return load
+}
+
+// --- Static plane ----------------------------------------------------------
+
+// PlaneStatic evaluates the static slab decomposition: p equal slabs along
+// x.
+type PlaneStatic struct {
+	g space.Grid
+	p int
+}
+
+// NewPlaneStatic returns the static plane balancer; Nx must be divisible
+// by p.
+func NewPlaneStatic(g space.Grid, p int) (*PlaneStatic, error) {
+	if p < 1 || g.Nx%p != 0 {
+		return nil, fmt.Errorf("balance: plane needs Nx (%d) divisible by p (%d)", g.Nx, p)
+	}
+	return &PlaneStatic{g: g, p: p}, nil
+}
+
+// Step evaluates the distribution for this step's loads.
+func (b *PlaneStatic) Step(cellLoad []float64) Imbalance {
+	return summarize(slabLoads(b.g, cellLoad, staticBounds(b.g.Nx, b.p)))
+}
+
+func staticBounds(nx, p int) []int {
+	bounds := make([]int, p+1)
+	for i := range bounds {
+		bounds[i] = i * nx / p
+	}
+	return bounds
+}
+
+// layerLoads sums cell loads per x-layer.
+func layerLoads(g space.Grid, cellLoad []float64) []float64 {
+	ll := make([]float64, g.Nx)
+	for c, l := range cellLoad {
+		ix, _, _ := g.Coords(c)
+		ll[ix] += l
+	}
+	return ll
+}
+
+func slabLoads(g space.Grid, cellLoad []float64, bounds []int) []float64 {
+	ll := layerLoads(g, cellLoad)
+	out := make([]float64, len(bounds)-1)
+	for i := 0; i < len(bounds)-1; i++ {
+		for x := bounds[i]; x < bounds[i+1]; x++ {
+			out[i] += ll[x]
+		}
+	}
+	return out
+}
+
+// --- Kohring 1-D discrete boundary shifting ---------------------------------
+
+// Kohring balances slab domains by moving each internal boundary at most
+// one cell layer per step toward the lighter side, Kohring's discrete
+// variant of 1-D dynamic domain decomposition. Domains never shrink below
+// one layer. (Unlike the permanent-cell scheme this changes which PEs are
+// adjacent to which cells only along one axis, so the communication
+// pattern stays a ring — but it cannot react to concentration in the y/z
+// cross-section at all, which is exactly the weakness the paper's method
+// addresses.)
+type Kohring struct {
+	g      space.Grid
+	p      int
+	bounds []int
+}
+
+// NewKohring returns the 1-D balancer starting from equal slabs.
+func NewKohring(g space.Grid, p int) (*Kohring, error) {
+	if p < 1 || g.Nx < p {
+		return nil, fmt.Errorf("balance: kohring needs at least one layer per PE (Nx=%d, p=%d)", g.Nx, p)
+	}
+	return &Kohring{g: g, p: p, bounds: staticBounds(g.Nx, p)}, nil
+}
+
+// Bounds returns a copy of the current boundary layer indices.
+func (b *Kohring) Bounds() []int { return append([]int(nil), b.bounds...) }
+
+// Step adjusts each internal boundary by at most one layer toward balance
+// and returns the resulting distribution.
+func (b *Kohring) Step(cellLoad []float64) Imbalance {
+	ll := layerLoads(b.g, cellLoad)
+	slab := func(i int) float64 {
+		var s float64
+		for x := b.bounds[i]; x < b.bounds[i+1]; x++ {
+			s += ll[x]
+		}
+		return s
+	}
+	// Sweep internal boundaries; move a layer when it reduces the pairwise
+	// max of the two adjacent slabs.
+	for i := 1; i < b.p; i++ {
+		left, right := slab(i-1), slab(i)
+		if left > right && b.bounds[i]-b.bounds[i-1] > 1 {
+			moved := ll[b.bounds[i]-1]
+			if maxf(left-moved, right+moved) < maxf(left, right) {
+				b.bounds[i]--
+			}
+		} else if right > left && b.bounds[i+1]-b.bounds[i] > 1 {
+			moved := ll[b.bounds[i]]
+			if maxf(left+moved, right-moved) < maxf(left, right) {
+				b.bounds[i]++
+			}
+		}
+	}
+	return summarize(slabLoads(b.g, cellLoad, b.bounds))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Static square pillar (plain DDM) ---------------------------------------
+
+// PillarStatic evaluates the static square-pillar decomposition.
+type PillarStatic struct {
+	g      space.Grid
+	layout dlb.Layout
+}
+
+// NewPillarStatic returns the static pillar balancer.
+func NewPillarStatic(g space.Grid, p int) (*PillarStatic, error) {
+	layout, err := pillarLayout(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return &PillarStatic{g: g, layout: layout}, nil
+}
+
+func pillarLayout(g space.Grid, p int) (dlb.Layout, error) {
+	s := intSqrt(p)
+	if s*s != p || s < 2 {
+		return dlb.Layout{}, fmt.Errorf("balance: pillar needs perfect-square p >= 4, got %d", p)
+	}
+	if g.Nx != g.Ny || g.Nx%s != 0 {
+		return dlb.Layout{}, fmt.Errorf("balance: pillar needs square cross-section divisible by sqrt(p)")
+	}
+	return dlb.NewLayout(s, g.Nx/s)
+}
+
+func intSqrt(p int) int {
+	s := 0
+	for s*s < p {
+		s++
+	}
+	return s
+}
+
+// columnLoads sums cell loads per column.
+func columnLoads(g space.Grid, cellLoad []float64) []float64 {
+	cl := make([]float64, g.NumColumns())
+	for c, l := range cellLoad {
+		cl[g.ColumnOf(c)] += l
+	}
+	return cl
+}
+
+// Step evaluates the distribution for this step's loads.
+func (b *PillarStatic) Step(cellLoad []float64) Imbalance {
+	cl := columnLoads(b.g, cellLoad)
+	pe := make([]float64, b.layout.P())
+	for col, l := range cl {
+		pe[b.layout.OwnerOf(col)] += l
+	}
+	return summarize(pe)
+}
+
+// --- Permanent-cell DLB ------------------------------------------------------
+
+// PermanentCellDLB drives the real internal/dlb ledgers (one per PE) with
+// the per-column load stream, exactly as the parallel engine does, and
+// reports the achieved distribution.
+type PermanentCellDLB struct {
+	g       space.Grid
+	layout  dlb.Layout
+	ledgers []*dlb.Ledger
+	cfg     dlb.Config
+}
+
+// NewPermanentCellDLB returns the DLB balancer with the given decision
+// config.
+func NewPermanentCellDLB(g space.Grid, p int, cfg dlb.Config) (*PermanentCellDLB, error) {
+	layout, err := pillarLayout(g, p)
+	if err != nil {
+		return nil, err
+	}
+	b := &PermanentCellDLB{g: g, layout: layout, cfg: cfg}
+	for r := 0; r < layout.P(); r++ {
+		b.ledgers = append(b.ledgers, dlb.NewLedger(layout, r))
+	}
+	return b, nil
+}
+
+// peLoads sums the column loads per hosting PE.
+func (b *PermanentCellDLB) peLoads(colLoad []float64) []float64 {
+	pe := make([]float64, b.layout.P())
+	for r, lg := range b.ledgers {
+		for _, col := range lg.HostedColumns() {
+			pe[r] += colLoad[col]
+		}
+	}
+	return pe
+}
+
+// Step runs one round of the redistribution protocol on this step's loads
+// and returns the distribution after the moves.
+func (b *PermanentCellDLB) Step(cellLoad []float64) (Imbalance, error) {
+	colLoad := columnLoads(b.g, cellLoad)
+	pe := b.peLoads(colLoad)
+
+	cfg := b.cfg
+	cfg.ColLoad = func(col int) float64 { return colLoad[col] }
+
+	decisions := make([]dlb.Decision, b.layout.P())
+	for r, lg := range b.ledgers {
+		var loads dlb.Loads
+		loads.Self = pe[r]
+		pi, pj := b.layout.T.Coords(r)
+		for k, off := range topology.Offsets8 {
+			loads.Neighbor[k] = pe[b.layout.T.Rank(pi+off.DI, pj+off.DJ)]
+		}
+		decisions[r] = lg.Decide(loads, cfg)
+	}
+	for r, d := range decisions {
+		if err := b.ledgers[r].Apply(r, d); err != nil {
+			return Imbalance{}, err
+		}
+		for _, nb := range b.layout.T.UniqueNeighbors(r) {
+			if err := b.ledgers[nb].Apply(r, d); err != nil {
+				return Imbalance{}, err
+			}
+		}
+	}
+	return summarize(b.peLoads(colLoad)), nil
+}

@@ -1,0 +1,349 @@
+// Package comm is the message-passing substrate that stands in for MPI on
+// the T3E. A World of P ranks runs as P goroutines inside one process;
+// point-to-point messages travel over buffered channels with MPI-style
+// (source, tag) matching, and the usual collectives (barrier, reductions,
+// gathers, broadcast) are built on top. Every rank calls collectives in the
+// same order, exactly like an SPMD MPI program.
+//
+// The substitution is documented in DESIGN.md: the DLB algorithm only needs
+// P sequential processors exchanging messages on a virtual 2-D torus, which
+// this package provides with identical semantics.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type message struct {
+	src, tag int
+	data     any
+	size     int64 // payload size hint in bytes (0 when unknown)
+}
+
+// World is a group of ranks that can communicate. Create one per parallel
+// run, then obtain a Comm per rank.
+type World struct {
+	size  int
+	inbox []chan message
+	start time.Time
+	bar   *barrier
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewWorld returns a world of p ranks.
+func NewWorld(p int) (*World, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: world size must be >= 1, got %d", p)
+	}
+	w := &World{
+		size:  p,
+		inbox: make([]chan message, p),
+		start: time.Now(),
+		bar:   newBarrier(p),
+	}
+	capacity := 64 * p
+	if capacity < 256 {
+		capacity = 256
+	}
+	for i := range w.inbox {
+		w.inbox[i] = make(chan message, capacity)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the cumulative message and payload-byte counts across all
+// ranks (bytes only reflect sends that passed a size hint).
+func (w *World) Stats() (msgs, bytes int64) {
+	return w.msgs.Load(), w.bytes.Load()
+}
+
+// Run spawns fn on every rank as a goroutine and blocks until all return.
+// It is the moral equivalent of mpirun.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm returns the communication handle for one rank. Each handle must be
+// used by a single goroutine.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Comm is one rank's endpoint. Not safe for concurrent use by multiple
+// goroutines.
+type Comm struct {
+	w       *World
+	rank    int
+	pending []message
+	collSeq int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Wtime returns seconds elapsed since the world was created (the MPI_Wtime
+// analogue used for the wall-clock load metric).
+func (c *Comm) Wtime() float64 { return time.Since(c.w.start).Seconds() }
+
+// Send delivers data to rank dst with the given tag. Tags must be
+// non-negative; negative tags are reserved for collectives. Send blocks only
+// if the destination inbox is full, which bounded per-step protocols never
+// trigger.
+func (c *Comm) Send(dst, tag int, data any) { c.SendSized(dst, tag, data, 0) }
+
+// SendSized is Send with an explicit payload-size hint in bytes for the
+// communication cost accounting.
+func (c *Comm) SendSized(dst, tag int, data any, size int64) {
+	if tag < 0 {
+		panic("comm: negative tags are reserved")
+	}
+	c.send(dst, tag, data, size)
+}
+
+func (c *Comm) send(dst, tag int, data any, size int64) {
+	c.w.msgs.Add(1)
+	c.w.bytes.Add(size)
+	c.w.inbox[dst] <- message{src: c.rank, tag: tag, data: data, size: size}
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages from other (src, tag) pairs arriving in the
+// meantime are buffered, preserving per-pair FIFO order.
+func (c *Comm) Recv(src, tag int) any {
+	for i, m := range c.pending {
+		if m.src == src && m.tag == tag {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m.data
+		}
+	}
+	for {
+		m := <-c.w.inbox[c.rank]
+		if m.src == src && m.tag == tag {
+			return m.data
+		}
+		c.pending = append(c.pending, m)
+	}
+}
+
+// SendRecv sends sendData to dst and receives a message from src, without
+// deadlocking (sends are buffered).
+func (c *Comm) SendRecv(dst, sendTag int, sendData any, src, recvTag int) any {
+	c.Send(dst, sendTag, sendData)
+	return c.Recv(src, recvTag)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.w.bar.wait() }
+
+// nextCollTag returns a fresh reserved tag. All ranks execute collectives in
+// the same order, so sequence numbers agree across ranks.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return -c.collSeq
+}
+
+// reduce gathers one value per rank at root 0 and returns the full slice on
+// rank 0 (nil elsewhere).
+func (c *Comm) gatherAt0(tag int, v any) []any {
+	if c.rank != 0 {
+		c.send(0, tag, v, 0)
+		return nil
+	}
+	all := make([]any, c.w.size)
+	all[0] = v
+	for src := 1; src < c.w.size; src++ {
+		all[src] = c.Recv(src, tag)
+	}
+	return all
+}
+
+// bcastFrom0 sends v from rank 0 to everyone and returns it.
+func (c *Comm) bcastFrom0(tag int, v any) any {
+	if c.rank == 0 {
+		for dst := 1; dst < c.w.size; dst++ {
+			c.send(dst, tag, v, 0)
+		}
+		return v
+	}
+	return c.Recv(0, tag)
+}
+
+// Recv with reserved tags needs the same matching loop; reuse Recv by
+// bypassing the tag sign check (Recv does not check signs).
+
+// AllreduceFloat64 combines one float64 per rank with op and returns the
+// result on every rank.
+func (c *Comm) AllreduceFloat64(v float64, op func(a, b float64) float64) float64 {
+	tag := c.nextCollTag()
+	all := c.gatherAt0(tag, v)
+	var r float64
+	if c.rank == 0 {
+		r = all[0].(float64)
+		for _, x := range all[1:] {
+			r = op(r, x.(float64))
+		}
+	}
+	tag2 := c.nextCollTag()
+	return c.bcastFrom0(tag2, r).(float64)
+}
+
+// AllreduceInt64 combines one int64 per rank with op and returns the result
+// on every rank.
+func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) int64 {
+	tag := c.nextCollTag()
+	all := c.gatherAt0(tag, v)
+	var r int64
+	if c.rank == 0 {
+		r = all[0].(int64)
+		for _, x := range all[1:] {
+			r = op(r, x.(int64))
+		}
+	}
+	tag2 := c.nextCollTag()
+	return c.bcastFrom0(tag2, r).(int64)
+}
+
+// Sum, Min and Max are the common reduction operators.
+func Sum(a, b float64) float64 { return a + b }
+
+// Min returns the smaller of a and b.
+func Min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumI, MinI and MaxI are the int64 reduction operators.
+func SumI(a, b int64) int64 { return a + b }
+
+// MinI returns the smaller of a and b.
+func MinI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxI returns the larger of a and b.
+func MaxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AllgatherFloat64 returns every rank's value, indexed by rank, on every
+// rank.
+func (c *Comm) AllgatherFloat64(v float64) []float64 {
+	all := c.Allgather(v)
+	out := make([]float64, len(all))
+	for i, x := range all {
+		out[i] = x.(float64)
+	}
+	return out
+}
+
+// Allgather returns every rank's value, indexed by rank, on every rank.
+func (c *Comm) Allgather(v any) []any {
+	tag := c.nextCollTag()
+	all := c.gatherAt0(tag, v)
+	tag2 := c.nextCollTag()
+	res := c.bcastFrom0(tag2, all)
+	return res.([]any)
+}
+
+// Broadcast sends v from root to every rank and returns it everywhere.
+func (c *Comm) Broadcast(root int, v any) any {
+	tag := c.nextCollTag()
+	if c.rank == root {
+		for dst := 0; dst < c.w.size; dst++ {
+			if dst != root {
+				c.send(dst, tag, v, 0)
+			}
+		}
+		return v
+	}
+	return c.Recv(root, tag)
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// CostModel estimates communication time from message statistics with the
+// classic alpha-beta model: time = msgs*Latency + bytes*SecPerByte. Used for
+// the analysis in DESIGN.md section 5 (the T3E interconnect is simulated,
+// so comparative — not absolute — costs are what matter).
+type CostModel struct {
+	Latency    float64 // seconds per message
+	SecPerByte float64 // seconds per payload byte
+}
+
+// T3E approximates the paper's machine: ~14 us MPI latency and ~300 MB/s
+// sustained MPI bandwidth (the 2.8 GB/s figure in the paper is the raw link
+// rate).
+var T3E = CostModel{Latency: 14e-6, SecPerByte: 1.0 / 300e6}
+
+// Time returns the modeled total communication time.
+func (m CostModel) Time(msgs, bytes int64) float64 {
+	return float64(msgs)*m.Latency + float64(bytes)*m.SecPerByte
+}

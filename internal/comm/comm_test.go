@@ -1,0 +1,306 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"permcell/internal/topology"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 4 {
+		t.Errorf("size = %d", w.Size())
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, "hello")
+		} else {
+			got := c.Recv(0, 5)
+			if got != "hello" {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, "first")
+			c.Send(1, 2, "second")
+		} else {
+			// Receive in reverse tag order; matching must buffer.
+			if got := c.Recv(0, 2); got != "second" {
+				t.Errorf("tag 2 got %v", got)
+			}
+			if got := c.Recv(0, 1); got != "first" {
+				t.Errorf("tag 1 got %v", got)
+			}
+		}
+	})
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				c.Send(1, 7, i)
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				if got := c.Recv(0, 7); got != i {
+					t.Fatalf("message %d got %v", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestMultipleSourcesInterleaved(t *testing.T) {
+	w, _ := NewWorld(4)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			sum := 0
+			for src := 1; src < 4; src++ {
+				for k := 0; k < 10; k++ {
+					sum += c.Recv(src, 3).(int)
+				}
+			}
+			if sum != 3*10*5 {
+				t.Errorf("sum = %d", sum)
+			}
+		} else {
+			for k := 0; k < 10; k++ {
+				c.Send(0, 3, 5)
+			}
+		}
+	})
+}
+
+func TestSendRecvExchangeNoDeadlock(t *testing.T) {
+	// Pairwise simultaneous exchange, the halo pattern.
+	w, _ := NewWorld(2)
+	done := make(chan struct{})
+	go func() {
+		w.Run(func(c *Comm) {
+			other := 1 - c.Rank()
+			got := c.SendRecv(other, 9, c.Rank(), other, 9)
+			if got != other {
+				t.Errorf("rank %d got %v", c.Rank(), got)
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SendRecv deadlocked")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w, _ := NewWorld(8)
+	var phase atomic.Int64
+	w.Run(func(c *Comm) {
+		phase.Add(1)
+		c.Barrier()
+		if got := phase.Load(); got != 8 {
+			t.Errorf("rank %d saw phase %d before barrier release", c.Rank(), got)
+		}
+		c.Barrier()
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w, _ := NewWorld(4)
+	var counter atomic.Int64
+	w.Run(func(c *Comm) {
+		for round := 1; round <= 10; round++ {
+			counter.Add(1)
+			c.Barrier()
+			if got := counter.Load(); got != int64(4*round) {
+				t.Errorf("round %d: counter = %d, want %d", round, got, 4*round)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	w, _ := NewWorld(6)
+	w.Run(func(c *Comm) {
+		sum := c.AllreduceFloat64(float64(c.Rank()), Sum)
+		if sum != 15 {
+			t.Errorf("rank %d: sum = %v", c.Rank(), sum)
+		}
+		mn := c.AllreduceFloat64(float64(c.Rank()+3), Min)
+		if mn != 3 {
+			t.Errorf("min = %v", mn)
+		}
+		mx := c.AllreduceFloat64(float64(c.Rank()), Max)
+		if mx != 5 {
+			t.Errorf("max = %v", mx)
+		}
+		si := c.AllreduceInt64(int64(c.Rank()), SumI)
+		if si != 15 {
+			t.Errorf("int sum = %v", si)
+		}
+		if c.AllreduceInt64(int64(c.Rank()), MinI) != 0 {
+			t.Error("int min wrong")
+		}
+		if c.AllreduceInt64(int64(c.Rank()), MaxI) != 5 {
+			t.Error("int max wrong")
+		}
+	})
+}
+
+func TestAllreduceSingleRank(t *testing.T) {
+	w, _ := NewWorld(1)
+	w.Run(func(c *Comm) {
+		if got := c.AllreduceFloat64(7, Sum); got != 7 {
+			t.Errorf("got %v", got)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	w, _ := NewWorld(5)
+	w.Run(func(c *Comm) {
+		all := c.AllgatherFloat64(float64(c.Rank() * c.Rank()))
+		for r, v := range all {
+			if v != float64(r*r) {
+				t.Errorf("rank %d: all[%d] = %v", c.Rank(), r, v)
+			}
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	w, _ := NewWorld(5)
+	w.Run(func(c *Comm) {
+		var v any = "nothing"
+		if c.Rank() == 2 {
+			v = "payload"
+		}
+		got := c.Broadcast(2, v)
+		if got != "payload" {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestCollectivesInterleavedWithP2P(t *testing.T) {
+	// Collectives must not steal point-to-point messages.
+	w, _ := NewWorld(3)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Send(0, 4, "p2p")
+		}
+		sum := c.AllreduceFloat64(1, Sum)
+		if sum != 3 {
+			t.Errorf("sum = %v", sum)
+		}
+		if c.Rank() == 0 {
+			if got := c.Recv(1, 4); got != "p2p" {
+				t.Errorf("p2p got %v", got)
+			}
+		}
+	})
+}
+
+func TestTorusNeighborExchange(t *testing.T) {
+	// The paper's core pattern: every rank exchanges a value with all 8
+	// torus neighbors every step, for many steps.
+	tor, err := topology.NewSquareTorus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWorld(16)
+	w.Run(func(c *Comm) {
+		for step := 0; step < 50; step++ {
+			nb := tor.Neighbors8(c.Rank())
+			for k, dst := range nb {
+				c.Send(dst, step*10+k, c.Rank()*1000+step)
+			}
+			for k, src := range nb {
+				// The neighbor at offset k sees me at the opposite offset.
+				opp := 7 - k
+				got := c.Recv(src, step*10+opp).(int)
+				if got != src*1000+step {
+					t.Fatalf("step %d: from %d got %d", step, src, got)
+				}
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestStatsCount(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendSized(1, 1, "x", 100)
+		} else {
+			c.Recv(0, 1)
+		}
+	})
+	msgs, bytes := w.Stats()
+	if msgs != 1 || bytes != 100 {
+		t.Errorf("stats = (%d, %d), want (1, 100)", msgs, bytes)
+	}
+}
+
+func TestNegativeTagPanics(t *testing.T) {
+	w, _ := NewWorld(1)
+	c := w.Comm(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative tag did not panic")
+		}
+	}()
+	c.Send(0, -1, nil)
+}
+
+func TestWtimeMonotonic(t *testing.T) {
+	w, _ := NewWorld(1)
+	c := w.Comm(0)
+	t0 := c.Wtime()
+	time.Sleep(time.Millisecond)
+	if c.Wtime() <= t0 {
+		t.Error("Wtime not increasing")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{Latency: 1e-6, SecPerByte: 1e-9}
+	if got := m.Time(1000, 1e6); got != 1000*1e-6+1e6*1e-9 {
+		t.Errorf("Time = %v", got)
+	}
+	if T3E.Latency <= 0 || T3E.SecPerByte <= 0 {
+		t.Error("T3E model not positive")
+	}
+}
+
+func TestCommRankPanics(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range rank did not panic")
+		}
+	}()
+	w.Comm(2)
+}

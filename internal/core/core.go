@@ -1,0 +1,202 @@
+// Package core is the parallel molecular dynamics engine of the paper:
+// square-pillar domain decomposition (DDM) over a sqrt(P) x sqrt(P) torus of
+// PEs, optionally with the permanent-cell dynamic load balancing method
+// (DLB-DDM). Each PE runs as a goroutine over the message-passing substrate
+// in internal/comm; every per-step exchange (loads, DLB decisions, cell
+// transfers, particle migration, halo pull) involves only the PE's 8 torus
+// neighbors, exactly as on the T3E.
+//
+// Per time step each PE executes:
+//
+//  1. DLB (optional): exchange last-step force loads with the 8 neighbors,
+//     run the three-case protocol (internal/dlb), broadcast the decision,
+//     and transfer the moved column's particles.
+//  2. Velocity-Verlet half kick and drift.
+//  3. Migration: particles that drifted into cells hosted elsewhere are
+//     sent to their new host.
+//  4. Halo pull: request the 26-neighborhood cell contents this PE does not
+//     host, answer the neighbors' requests, compute forces.
+//  5. Second half kick; velocity rescaling to Tref every RescaleEvery steps.
+//
+// The force-computation load that drives both the DLB decisions and the
+// reported Fmax/Fave/Fmin series is, by default, the deterministic count of
+// pair-distance evaluations (the quantity MPI_Wtime measured on the T3E);
+// wall-clock timing is recorded alongside and can be selected as the
+// decision metric instead.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"permcell/internal/comm"
+	"permcell/internal/conc"
+	"permcell/internal/dlb"
+	"permcell/internal/particle"
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/workload"
+)
+
+// LoadMetric selects the quantity that drives DLB decisions.
+type LoadMetric int
+
+// Load metrics.
+const (
+	// WorkCount uses the number of pair-distance evaluations of the last
+	// force computation. Deterministic: identical runs produce identical
+	// DLB decisions, so experiments regenerate exactly.
+	WorkCount LoadMetric = iota
+	// WallTime uses measured wall-clock seconds of the last force
+	// computation, as the paper's MPI_Wtime-based implementation did.
+	WallTime
+)
+
+// Config describes one parallel run.
+type Config struct {
+	// P is the PE count; must be a perfect square >= 4.
+	P int
+	// Grid is the cell grid; Nx and Ny must equal m*sqrt(P) for integer m.
+	Grid space.Grid
+	// Pair is the interaction potential; cells must be at least as large as
+	// its cut-off.
+	Pair potential.Pair
+	// Ext is an optional external field (nil for none).
+	Ext potential.External
+	// Dt is the time step.
+	Dt float64
+	// Tref and RescaleEvery configure the thermostat (RescaleEvery == 0
+	// disables it).
+	Tref         float64
+	RescaleEvery int
+	// DLB enables the permanent-cell dynamic load balancing.
+	DLB bool
+	// DLBEvery runs the DLB exchange every k-th step (default 1 — the
+	// paper's "every time step"; larger values are the frequency ablation).
+	DLBEvery int
+	// DLBHysteresis is the relative load gap required to move a column
+	// (0 = paper-literal).
+	DLBHysteresis float64
+	// DLBPick selects which candidate column moves.
+	DLBPick dlb.Strategy
+	// Metric selects the DLB decision load metric.
+	Metric LoadMetric
+	// OnStep, when non-nil, is invoked on rank 0 with each step's stats.
+	OnStep func(StepStats)
+	// StatsEvery controls how often concentration stats are computed
+	// (they cost one small allgather; default 1 = every step).
+	StatsEvery int
+}
+
+// StepStats is the per-step record the paper's figures are built from.
+type StepStats struct {
+	Step int
+
+	// Force-computation load across PEs in pair evaluations (the
+	// deterministic work metric): the paper's Fmax, Fave, Fmin.
+	WorkMax, WorkAve, WorkMin float64
+	// The same in measured wall seconds.
+	WallMax, WallAve, WallMin float64
+	// StepWallMax is the slowest PE's whole-step wall time (the paper's Tt).
+	StepWallMax float64
+
+	// Moved is the number of columns transferred by DLB this step.
+	Moved int
+
+	// TotalEnergy and Temperature are global observables.
+	TotalEnergy float64
+	Temperature float64
+
+	// Conc is the concentration census (C_0/C and n, Section 4).
+	Conc conc.Stats
+}
+
+// Imbalance returns (Fmax-Fmin)/Fave on the work metric, the quantity whose
+// growth marks the experimental DLB boundary.
+func (s StepStats) Imbalance() float64 {
+	if s.WorkAve == 0 {
+		return 0
+	}
+	return (s.WorkMax - s.WorkMin) / s.WorkAve
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Stats []StepStats
+	// Final is the end state gathered from all PEs, sorted by particle ID.
+	Final *particle.Set
+	// CommMsgs and CommBytes are whole-run message statistics.
+	CommMsgs, CommBytes int64
+	// M is the derived square-pillar cross-section size.
+	M int
+}
+
+// Layout derives the DLB layout (torus side s and block size m) from cfg.
+func (cfg *Config) Layout() (dlb.Layout, error) {
+	s := int(math.Round(math.Sqrt(float64(cfg.P))))
+	if s < 2 || s*s != cfg.P {
+		return dlb.Layout{}, fmt.Errorf("core: P=%d is not a perfect square >= 4", cfg.P)
+	}
+	if cfg.Grid.Nx != cfg.Grid.Ny {
+		return dlb.Layout{}, fmt.Errorf("core: grid cross-section must be square, got %dx%d", cfg.Grid.Nx, cfg.Grid.Ny)
+	}
+	if cfg.Grid.Nx%s != 0 {
+		return dlb.Layout{}, fmt.Errorf("core: grid side %d not divisible by sqrt(P)=%d", cfg.Grid.Nx, s)
+	}
+	return dlb.NewLayout(s, cfg.Grid.Nx/s)
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Pair == nil {
+		return fmt.Errorf("core: nil pair potential")
+	}
+	if cfg.Dt <= 0 {
+		return fmt.Errorf("core: time step must be positive")
+	}
+	if cfg.Grid.NumCells() == 0 {
+		return fmt.Errorf("core: empty grid")
+	}
+	sx, sy, sz := cfg.Grid.CellSize()
+	// A relative epsilon absorbs floating-point rounding in box construction;
+	// a cell shorter than the cut-off by parts in 1e9 cannot miss a pair.
+	rc := cfg.Pair.Cutoff() * (1 - 1e-9)
+	if sx < rc || sy < rc || sz < rc {
+		return fmt.Errorf("core: cell size (%g,%g,%g) below cut-off %g", sx, sy, sz, cfg.Pair.Cutoff())
+	}
+	if _, err := cfg.Layout(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run executes steps time steps of the configured parallel simulation on
+// the given system and returns the per-step statistics and final state.
+// The input system is not modified.
+func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ext == nil {
+		cfg.Ext = potential.NoField{}
+	}
+	if cfg.StatsEvery <= 0 {
+		cfg.StatsEvery = 1
+	}
+	layout, err := cfg.Layout()
+	if err != nil {
+		return nil, err
+	}
+	world, err := comm.NewWorld(cfg.P)
+	if err != nil {
+		return nil, err
+	}
+
+	// Internal protocol violations (which indicate engine bugs, not user
+	// errors) panic inside the PE goroutines, mirroring MPI_Abort.
+	res := &Result{M: layout.M}
+	world.Run(func(c *comm.Comm) {
+		newPE(c, &cfg, layout, sys).run(steps, res)
+	})
+	res.CommMsgs, res.CommBytes = world.Stats()
+	return res, nil
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"permcell/internal/comm"
+	"permcell/internal/conc"
+	"permcell/internal/dlb"
+	"permcell/internal/integrator"
+	"permcell/internal/kernel"
+	"permcell/internal/particle"
+	"permcell/internal/topology"
+	"permcell/internal/vec"
+	"permcell/internal/workload"
+)
+
+// Message tags. Per-(source, tag) FIFO ordering in comm makes fixed tags
+// safe: neighbor exchanges are naturally step-synchronized because every
+// phase receives exactly one message per neighbor.
+const (
+	tagLoad = iota + 1
+	tagDecision
+	tagTransfer
+	tagMigrate
+	tagNeed
+	tagHalo
+)
+
+// cellBlock is one cell's particle positions in a halo response.
+type cellBlock struct {
+	Cell int
+	Pos  []vec.V
+}
+
+// peRecord is the per-step census a PE contributes to the global stats.
+type peRecord struct {
+	Work  float64
+	Wall  float64
+	Step  float64 // whole-step wall seconds
+	Cells int
+	Empty int
+	Moved int
+	PotE  float64
+	KinE  float64
+	N     int
+}
+
+// pe is the state of one processing element.
+type pe struct {
+	c      *comm.Comm
+	cfg    *Config
+	layout dlb.Layout
+	lg     *dlb.Ledger
+	nbs    []int // unique neighbor ranks, ascending
+
+	set     particle.Set
+	cellMap map[int][]int // hosted cell -> local particle indices
+	hosted  map[int]bool  // hosted cells
+	colPop  map[int]int   // hosted column -> particle count
+
+	lastWork float64 // pair evaluations of last force computation
+	lastWall float64 // wall seconds of last force computation
+	potE     float64 // local share of potential energy
+	moved    int     // columns moved by my decision this step
+}
+
+func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *pe {
+	p := &pe{
+		c:       c,
+		cfg:     cfg,
+		layout:  layout,
+		lg:      dlb.NewLedger(layout, c.Rank()),
+		cellMap: make(map[int][]int),
+		hosted:  make(map[int]bool),
+		colPop:  make(map[int]int),
+	}
+	p.nbs = append(p.nbs, layout.T.UniqueNeighbors(c.Rank())...)
+	sort.Ints(p.nbs)
+
+	// Initial distribution: each PE takes the particles in its own columns.
+	// The shared input system is only read, never written.
+	g := cfg.Grid
+	for i := range sys.Set.Pos {
+		col := g.ColumnOf(g.CellOf(sys.Set.Pos[i]))
+		if layout.OwnerOf(col) == c.Rank() {
+			p.set.Add(sys.Set.ID[i], sys.Set.Pos[i], sys.Set.Vel[i])
+		}
+	}
+	return p
+}
+
+// run executes the whole simulation on this PE.
+func (p *pe) run(steps int, res *Result) {
+	p.rebuild()
+	ghost := p.haloExchange()
+	p.computeForces(ghost)
+
+	dlbEvery := p.cfg.DLBEvery
+	if dlbEvery < 1 {
+		dlbEvery = 1
+	}
+	for step := 1; step <= steps; step++ {
+		t0 := time.Now()
+		p.moved = 0
+		if p.cfg.DLB && (step-1)%dlbEvery == 0 {
+			p.dlbStep()
+		}
+		integrator.HalfKick(&p.set, p.cfg.Dt)
+		integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
+		p.migrate()
+		p.rebuild()
+		ghost = p.haloExchange()
+		p.computeForces(ghost)
+		integrator.HalfKick(&p.set, p.cfg.Dt)
+		if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
+			p.rescale()
+		}
+		p.collectStats(step, time.Since(t0).Seconds(), res)
+	}
+
+	p.gatherFinal(res)
+}
+
+// load returns the last force-computation load under the configured metric.
+func (p *pe) load() float64 {
+	if p.cfg.Metric == WallTime {
+		return p.lastWall
+	}
+	return p.lastWork
+}
+
+// dlbStep runs protocol steps 1-4 plus the particle payload transfers.
+func (p *pe) dlbStep() {
+	// Step 1: exchange last-step loads with the 8 neighbors.
+	for _, nb := range p.nbs {
+		p.c.Send(nb, tagLoad, p.load())
+	}
+	nbLoad := make(map[int]float64, len(p.nbs))
+	for _, nb := range p.nbs {
+		nbLoad[nb] = p.c.Recv(nb, tagLoad).(float64)
+	}
+	var loads dlb.Loads
+	loads.Self = p.load()
+	pi, pj := p.layout.T.Coords(p.c.Rank())
+	for k, off := range topology.Offsets8 {
+		loads.Neighbor[k] = nbLoad[p.layout.T.Rank(pi+off.DI, pj+off.DJ)]
+	}
+
+	// Steps 2-3: decide.
+	d := p.lg.Decide(loads, dlb.Config{
+		Hysteresis: p.cfg.DLBHysteresis,
+		Pick:       p.cfg.DLBPick,
+		ColLoad: func(col int) float64 {
+			return float64(p.colPop[col])
+		},
+	})
+
+	// Step 4: broadcast the decision; apply everyone's.
+	for _, nb := range p.nbs {
+		p.c.Send(nb, tagDecision, d)
+	}
+	if err := p.lg.Apply(p.c.Rank(), d); err != nil {
+		panic(fmt.Sprintf("core: rank %d self-apply: %v", p.c.Rank(), err))
+	}
+	nbDecision := make(map[int]dlb.Decision, len(p.nbs))
+	for _, nb := range p.nbs {
+		nd := p.c.Recv(nb, tagDecision).(dlb.Decision)
+		nbDecision[nb] = nd
+		if err := p.lg.Apply(nb, nd); err != nil {
+			panic(fmt.Sprintf("core: rank %d applying decision of %d: %v", p.c.Rank(), nb, err))
+		}
+	}
+
+	// Payload transfers: my moved column's particles leave; columns moved to
+	// me arrive.
+	if d.Col >= 0 {
+		p.moved = 1
+		out := p.extractColumn(d.Col)
+		p.c.SendSized(d.Dest, tagTransfer, out, int64(len(out))*48)
+	}
+	for _, nb := range p.nbs {
+		nd := nbDecision[nb]
+		if nd.Col >= 0 && nd.Dest == p.c.Rank() {
+			in := p.c.Recv(nb, tagTransfer).([]particle.One)
+			for _, one := range in {
+				p.set.AddOne(one)
+			}
+		}
+	}
+}
+
+// extractColumn removes and returns (sorted by ID) the particles currently
+// in column col.
+func (p *pe) extractColumn(col int) []particle.One {
+	g := p.cfg.Grid
+	var out []particle.One
+	for i := 0; i < p.set.Len(); {
+		if g.ColumnOf(g.CellOf(p.set.Pos[i])) == col {
+			out = append(out, p.set.Extract(i))
+			p.set.RemoveSwap(i)
+			continue
+		}
+		i++
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// migrate sends particles whose cell is hosted by another PE to that host.
+// One drift moves a particle at most into a neighboring cell, whose host is
+// always within the 8-neighborhood (the permanent-cell closure invariant);
+// anything farther means the time step is too large for the cell size.
+func (p *pe) migrate() {
+	g := p.cfg.Grid
+	out := make(map[int][]particle.One)
+	for i := 0; i < p.set.Len(); {
+		col := g.ColumnOf(g.CellOf(p.set.Pos[i]))
+		host, err := p.lg.HostOf(col)
+		if err != nil {
+			panic(fmt.Sprintf("core: rank %d migrate: %v (time step too large for cell size?)", p.c.Rank(), err))
+		}
+		if host != p.c.Rank() {
+			if !containsInt(p.nbs, host) {
+				panic(fmt.Sprintf("core: rank %d: particle migrating to non-neighbor %d", p.c.Rank(), host))
+			}
+			out[host] = append(out[host], p.set.Extract(i))
+			p.set.RemoveSwap(i)
+			continue
+		}
+		i++
+	}
+	for _, nb := range p.nbs {
+		msg := out[nb]
+		sort.Slice(msg, func(a, b int) bool { return msg[a].ID < msg[b].ID })
+		p.c.SendSized(nb, tagMigrate, msg, int64(len(msg))*48)
+	}
+	for _, nb := range p.nbs {
+		in := p.c.Recv(nb, tagMigrate).([]particle.One)
+		for _, one := range in {
+			p.set.AddOne(one)
+		}
+	}
+}
+
+// rebuild recomputes hosted cells, the cell map and the per-column census,
+// as the paper's programs do every time step.
+func (p *pe) rebuild() {
+	g := p.cfg.Grid
+	clear(p.hosted)
+	clear(p.cellMap)
+	clear(p.colPop)
+	for _, col := range p.lg.HostedColumns() {
+		p.colPop[col] = 0
+		for _, cell := range g.CellsInColumn(col, nil) {
+			p.hosted[cell] = true
+			p.cellMap[cell] = nil
+		}
+	}
+	for i := range p.set.Pos {
+		cell := g.CellOf(p.set.Pos[i])
+		if !p.hosted[cell] {
+			panic(fmt.Sprintf("core: rank %d holds particle %d in unhosted cell %d",
+				p.c.Rank(), p.set.ID[i], cell))
+		}
+		p.cellMap[cell] = append(p.cellMap[cell], i)
+		p.colPop[g.ColumnOf(cell)]++
+	}
+}
+
+// haloExchange pulls the particle positions of every unhosted cell adjacent
+// to a hosted cell from its current host (need-list protocol: one request
+// and one response message per neighbor).
+func (p *pe) haloExchange() map[int][]vec.V {
+	g := p.cfg.Grid
+	need := make(map[int][]int) // host -> cells
+	seen := make(map[int]bool)
+	var nbBuf []int
+	for cell := range p.hosted {
+		nbBuf = g.Neighbors26(cell, nbBuf[:0])
+		for _, nc := range nbBuf {
+			if p.hosted[nc] || seen[nc] {
+				continue
+			}
+			seen[nc] = true
+			host, err := p.lg.HostOf(g.ColumnOf(nc))
+			if err != nil {
+				panic(fmt.Sprintf("core: rank %d halo: %v", p.c.Rank(), err))
+			}
+			if !containsInt(p.nbs, host) {
+				panic(fmt.Sprintf("core: rank %d: halo cell %d hosted by non-neighbor %d", p.c.Rank(), nc, host))
+			}
+			need[host] = append(need[host], nc)
+		}
+	}
+	for _, nb := range p.nbs {
+		cells := need[nb]
+		sort.Ints(cells)
+		p.c.Send(nb, tagNeed, cells)
+	}
+	// Answer the neighbors' requests.
+	for _, nb := range p.nbs {
+		req := p.c.Recv(nb, tagNeed).([]int)
+		resp := make([]cellBlock, 0, len(req))
+		var bytes int64
+		for _, cell := range req {
+			idx, ok := p.cellMap[cell]
+			if !ok {
+				panic(fmt.Sprintf("core: rank %d asked for cell %d it does not host (by %d)", p.c.Rank(), cell, nb))
+			}
+			blk := cellBlock{Cell: cell, Pos: make([]vec.V, len(idx))}
+			for k, i := range idx {
+				blk.Pos[k] = p.set.Pos[i]
+			}
+			bytes += int64(len(idx)) * 24
+			resp = append(resp, blk)
+		}
+		p.c.SendSized(nb, tagHalo, resp, bytes)
+	}
+	ghost := make(map[int][]vec.V)
+	for _, nb := range p.nbs {
+		for _, blk := range p.c.Recv(nb, tagHalo).([]cellBlock) {
+			ghost[blk.Cell] = blk.Pos
+		}
+	}
+	return ghost
+}
+
+// computeForces evaluates the short-range forces over hosted cells via the
+// shared kernel and records this step's load under both metrics.
+func (p *pe) computeForces(ghost map[int][]vec.V) {
+	p.set.ZeroForces()
+	t0 := time.Now()
+	potE, pairs := kernel.PairForces(p.cfg.Grid, p.cfg.Pair, &p.set, p.cellMap, p.hosted, ghost)
+	potE += kernel.ExternalForces(p.cfg.Ext, &p.set)
+	p.potE = potE
+	p.lastWall = time.Since(t0).Seconds()
+	p.lastWork = float64(pairs)
+}
+
+// rescale applies global velocity rescaling to Tref.
+func (p *pe) rescale() {
+	ke := p.c.AllreduceFloat64(p.set.KineticEnergy(), comm.Sum)
+	n := p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
+	integrator.Rescale(&p.set, integrator.RescaleFactor(ke, int(n), p.cfg.Tref))
+}
+
+// collectStats gathers the per-PE census and, on rank 0, folds it into the
+// run result.
+func (p *pe) collectStats(step int, stepWall float64, res *Result) {
+	if step%p.cfg.StatsEvery != 0 {
+		return
+	}
+	empty := 0
+	for _, idx := range p.cellMap {
+		if len(idx) == 0 {
+			empty++
+		}
+	}
+	rec := peRecord{
+		Work:  p.lastWork,
+		Wall:  p.lastWall,
+		Step:  stepWall,
+		Cells: len(p.cellMap),
+		Empty: empty,
+		Moved: p.moved,
+		PotE:  p.potE,
+		KinE:  p.set.KineticEnergy(),
+		N:     p.set.Len(),
+	}
+	all := p.c.Allgather(rec)
+	if p.c.Rank() != 0 {
+		return
+	}
+	st := StepStats{Step: step, WorkMin: -1, WallMin: -1}
+	pes := make([]conc.PE, len(all))
+	var totalN int
+	for i, a := range all {
+		r := a.(peRecord)
+		st.WorkMax = maxf(st.WorkMax, r.Work)
+		st.WallMax = maxf(st.WallMax, r.Wall)
+		st.StepWallMax = maxf(st.StepWallMax, r.Step)
+		if st.WorkMin < 0 || r.Work < st.WorkMin {
+			st.WorkMin = r.Work
+		}
+		if st.WallMin < 0 || r.Wall < st.WallMin {
+			st.WallMin = r.Wall
+		}
+		st.WorkAve += r.Work
+		st.WallAve += r.Wall
+		st.Moved += r.Moved
+		st.TotalEnergy += r.PotE + r.KinE
+		totalN += r.N
+		pes[i] = conc.PE{Cells: r.Cells, Empty: r.Empty}
+	}
+	st.WorkAve /= float64(len(all))
+	st.WallAve /= float64(len(all))
+	if totalN > 0 {
+		var ke float64
+		for _, a := range all {
+			ke += a.(peRecord).KinE
+		}
+		st.Temperature = 2 * ke / (3 * float64(totalN))
+	}
+	st.Conc = conc.Compute(pes)
+	res.Stats = append(res.Stats, st)
+	if p.cfg.OnStep != nil {
+		p.cfg.OnStep(st)
+	}
+}
+
+// gatherFinal assembles the global final state on rank 0.
+func (p *pe) gatherFinal(res *Result) {
+	mine := make([]particle.One, p.set.Len())
+	for i := range mine {
+		mine[i] = particle.One{ID: p.set.ID[i], Pos: p.set.Pos[i], Vel: p.set.Vel[i]}
+	}
+	sort.Slice(mine, func(a, b int) bool { return mine[a].ID < mine[b].ID })
+	all := p.c.Allgather(mine)
+	if p.c.Rank() != 0 {
+		return
+	}
+	final := &particle.Set{}
+	for _, a := range all {
+		for _, one := range a.([]particle.One) {
+			final.AddOne(one)
+		}
+	}
+	final.SortByID()
+	res.Final = final
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func containsInt(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

@@ -1,0 +1,312 @@
+// Package corestatic is a parallel MD engine over an arbitrary *static*
+// domain decomposition — plane, square pillar, or cube (Fig. 2). It shares
+// the force kernel and message-passing substrate with internal/core but
+// carries no load balancing: it exists to compare the three domain shapes'
+// runtime communication behaviour (ghost volume, neighbor counts) as
+// running code, complementing the closed-form analysis in internal/decomp.
+package corestatic
+
+import (
+	"fmt"
+	"sort"
+
+	"permcell/internal/comm"
+	"permcell/internal/decomp"
+	"permcell/internal/integrator"
+	"permcell/internal/kernel"
+	"permcell/internal/particle"
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/vec"
+	"permcell/internal/workload"
+)
+
+// Config describes one static-decomposition run.
+type Config struct {
+	Shape decomp.Shape
+	P     int
+	Grid  space.Grid
+	Pair  potential.Pair
+	Ext   potential.External
+	Dt    float64
+	// Tref and RescaleEvery configure the thermostat (0 disables).
+	Tref         float64
+	RescaleEvery int
+}
+
+// StepStats is the per-step record.
+type StepStats struct {
+	Step                      int
+	WorkMax, WorkAve, WorkMin float64
+	// GhostCellsMax is the largest per-PE count of imported cells this
+	// step (the communication surface the shape analysis predicts).
+	GhostCellsMax int
+	TotalEnergy   float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Stats               []StepStats
+	Final               *particle.Set
+	CommMsgs, CommBytes int64
+}
+
+// message tags (fixed; per-pair FIFO keeps steps aligned, as in core).
+const (
+	tagMigrate = iota + 1
+	tagNeed
+	tagHalo
+)
+
+type cellBlock struct {
+	Cell int
+	Pos  []vec.V
+}
+
+// Run executes steps time steps on the given system.
+func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
+	if cfg.Pair == nil || cfg.Dt <= 0 || cfg.Grid.NumCells() == 0 {
+		return nil, fmt.Errorf("corestatic: incomplete config")
+	}
+	if cfg.Ext == nil {
+		cfg.Ext = potential.NoField{}
+	}
+	var d *decomp.Decomposition
+	var err error
+	switch cfg.Shape {
+	case decomp.Plane:
+		d, err = decomp.NewPlane(cfg.Grid, cfg.P)
+	case decomp.SquarePillar:
+		d, err = decomp.NewSquarePillar(cfg.Grid, cfg.P)
+	case decomp.Cube:
+		d, err = decomp.NewCube(cfg.Grid, cfg.P)
+	default:
+		err = fmt.Errorf("corestatic: unknown shape %v", cfg.Shape)
+	}
+	if err != nil {
+		return nil, err
+	}
+	world, err := comm.NewWorld(cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	world.Run(func(c *comm.Comm) {
+		newSPE(c, &cfg, d, sys).run(steps, res)
+	})
+	res.CommMsgs, res.CommBytes = world.Stats()
+	return res, nil
+}
+
+// spe is one static-decomposition processing element.
+type spe struct {
+	c   *comm.Comm
+	cfg *Config
+	d   *decomp.Decomposition
+	nbs []int // neighbor ranks, ascending
+
+	set     particle.Set
+	owned   map[int]bool
+	cellMap map[int][]int
+
+	lastWork  float64
+	potE      float64
+	ghostSeen int
+}
+
+func newSPE(c *comm.Comm, cfg *Config, d *decomp.Decomposition, sys workload.System) *spe {
+	p := &spe{
+		c: c, cfg: cfg, d: d,
+		owned:   make(map[int]bool),
+		cellMap: make(map[int][]int),
+	}
+	p.nbs = append(p.nbs, d.NeighborRanks(c.Rank())...)
+	sort.Ints(p.nbs)
+	for _, cell := range d.CellsOf(c.Rank()) {
+		p.owned[cell] = true
+	}
+	g := cfg.Grid
+	for i := range sys.Set.Pos {
+		if d.OwnerOf(g.CellOf(sys.Set.Pos[i])) == c.Rank() {
+			p.set.Add(sys.Set.ID[i], sys.Set.Pos[i], sys.Set.Vel[i])
+		}
+	}
+	return p
+}
+
+func (p *spe) run(steps int, res *Result) {
+	p.rebuild()
+	p.computeForces(p.haloExchange())
+	for step := 1; step <= steps; step++ {
+		integrator.HalfKick(&p.set, p.cfg.Dt)
+		integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
+		p.migrate()
+		p.rebuild()
+		p.computeForces(p.haloExchange())
+		integrator.HalfKick(&p.set, p.cfg.Dt)
+		if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
+			ke := p.c.AllreduceFloat64(p.set.KineticEnergy(), comm.Sum)
+			n := p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
+			integrator.Rescale(&p.set, integrator.RescaleFactor(ke, int(n), p.cfg.Tref))
+		}
+		p.collectStats(step, res)
+	}
+	p.gatherFinal(res)
+}
+
+func (p *spe) rebuild() {
+	g := p.cfg.Grid
+	clear(p.cellMap)
+	for cell := range p.owned {
+		p.cellMap[cell] = nil
+	}
+	for i := range p.set.Pos {
+		cell := g.CellOf(p.set.Pos[i])
+		if !p.owned[cell] {
+			panic(fmt.Sprintf("corestatic: rank %d holds particle %d in foreign cell %d",
+				p.c.Rank(), p.set.ID[i], cell))
+		}
+		p.cellMap[cell] = append(p.cellMap[cell], i)
+	}
+}
+
+func (p *spe) migrate() {
+	g := p.cfg.Grid
+	out := make(map[int][]particle.One)
+	for i := 0; i < p.set.Len(); {
+		owner := p.d.OwnerOf(g.CellOf(p.set.Pos[i]))
+		if owner != p.c.Rank() {
+			if !containsInt(p.nbs, owner) {
+				panic(fmt.Sprintf("corestatic: rank %d: particle migrating to non-neighbor %d (time step too large?)",
+					p.c.Rank(), owner))
+			}
+			out[owner] = append(out[owner], p.set.Extract(i))
+			p.set.RemoveSwap(i)
+			continue
+		}
+		i++
+	}
+	for _, nb := range p.nbs {
+		msg := out[nb]
+		sort.Slice(msg, func(a, b int) bool { return msg[a].ID < msg[b].ID })
+		p.c.SendSized(nb, tagMigrate, msg, int64(len(msg))*48)
+	}
+	for _, nb := range p.nbs {
+		for _, one := range p.c.Recv(nb, tagMigrate).([]particle.One) {
+			p.set.AddOne(one)
+		}
+	}
+}
+
+func (p *spe) haloExchange() map[int][]vec.V {
+	g := p.cfg.Grid
+	need := make(map[int][]int)
+	seen := make(map[int]bool)
+	var nbBuf []int
+	for cell := range p.owned {
+		nbBuf = g.Neighbors26(cell, nbBuf[:0])
+		for _, nc := range nbBuf {
+			if p.owned[nc] || seen[nc] {
+				continue
+			}
+			seen[nc] = true
+			need[p.d.OwnerOf(nc)] = append(need[p.d.OwnerOf(nc)], nc)
+		}
+	}
+	p.ghostSeen = len(seen)
+	for _, nb := range p.nbs {
+		cells := need[nb]
+		sort.Ints(cells)
+		p.c.Send(nb, tagNeed, cells)
+	}
+	for _, nb := range p.nbs {
+		req := p.c.Recv(nb, tagNeed).([]int)
+		resp := make([]cellBlock, 0, len(req))
+		var bytes int64
+		for _, cell := range req {
+			idx, ok := p.cellMap[cell]
+			if !ok {
+				panic(fmt.Sprintf("corestatic: rank %d asked for foreign cell %d", p.c.Rank(), cell))
+			}
+			blk := cellBlock{Cell: cell, Pos: make([]vec.V, len(idx))}
+			for k, i := range idx {
+				blk.Pos[k] = p.set.Pos[i]
+			}
+			bytes += int64(len(idx)) * 24
+			resp = append(resp, blk)
+		}
+		p.c.SendSized(nb, tagHalo, resp, bytes)
+	}
+	ghost := make(map[int][]vec.V)
+	for _, nb := range p.nbs {
+		for _, blk := range p.c.Recv(nb, tagHalo).([]cellBlock) {
+			ghost[blk.Cell] = blk.Pos
+		}
+	}
+	return ghost
+}
+
+func (p *spe) computeForces(ghost map[int][]vec.V) {
+	p.set.ZeroForces()
+	potE, pairs := kernel.PairForces(p.cfg.Grid, p.cfg.Pair, &p.set, p.cellMap, p.owned, ghost)
+	potE += kernel.ExternalForces(p.cfg.Ext, &p.set)
+	p.potE = potE
+	p.lastWork = float64(pairs)
+}
+
+type record struct {
+	Work   float64
+	Ghosts int
+	PotE   float64
+	KinE   float64
+}
+
+func (p *spe) collectStats(step int, res *Result) {
+	rec := record{Work: p.lastWork, Ghosts: p.ghostSeen, PotE: p.potE, KinE: p.set.KineticEnergy()}
+	all := p.c.Allgather(rec)
+	if p.c.Rank() != 0 {
+		return
+	}
+	st := StepStats{Step: step, WorkMin: -1}
+	for _, a := range all {
+		r := a.(record)
+		if r.Work > st.WorkMax {
+			st.WorkMax = r.Work
+		}
+		if st.WorkMin < 0 || r.Work < st.WorkMin {
+			st.WorkMin = r.Work
+		}
+		st.WorkAve += r.Work
+		if r.Ghosts > st.GhostCellsMax {
+			st.GhostCellsMax = r.Ghosts
+		}
+		st.TotalEnergy += r.PotE + r.KinE
+	}
+	st.WorkAve /= float64(len(all))
+	res.Stats = append(res.Stats, st)
+}
+
+func (p *spe) gatherFinal(res *Result) {
+	mine := make([]particle.One, p.set.Len())
+	for i := range mine {
+		mine[i] = particle.One{ID: p.set.ID[i], Pos: p.set.Pos[i], Vel: p.set.Vel[i]}
+	}
+	sort.Slice(mine, func(a, b int) bool { return mine[a].ID < mine[b].ID })
+	all := p.c.Allgather(mine)
+	if p.c.Rank() != 0 {
+		return
+	}
+	final := &particle.Set{}
+	for _, a := range all {
+		for _, one := range a.([]particle.One) {
+			final.AddOne(one)
+		}
+	}
+	final.SortByID()
+	res.Final = final
+}
+
+func containsInt(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

@@ -1,0 +1,161 @@
+package corestatic
+
+import (
+	"math"
+	"testing"
+
+	"permcell/internal/decomp"
+	"permcell/internal/mdserial"
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/workload"
+)
+
+func testSystem(t *testing.T, nc int, rho float64, seed uint64) (workload.System, space.Grid) {
+	t.Helper()
+	l := float64(nc) * 2.5
+	n := int(math.Round(rho * l * l * l))
+	sys, err := workload.LatticeGas(n, float64(n)/(l*l*l), 0.722, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := space.NewGridWithDims(sys.Box, nc, nc, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, g
+}
+
+func cfgFor(shape decomp.Shape, p int, g space.Grid) Config {
+	return Config{
+		Shape: shape, P: p, Grid: g,
+		Pair: potential.NewPaperLJ(),
+		Dt:   1e-4, Tref: 0.722, RescaleEvery: 50,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.256, 1)
+	cfg := cfgFor(decomp.SquarePillar, 4, g)
+	cfg.Pair = nil
+	if _, err := Run(cfg, sys, 1); err == nil {
+		t.Error("nil potential accepted")
+	}
+	cfg = cfgFor(decomp.Shape(9), 4, g)
+	if _, err := Run(cfg, sys, 1); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	cfg = cfgFor(decomp.Cube, 9, g)
+	if _, err := Run(cfg, sys, 1); err == nil {
+		t.Error("non-cube P accepted")
+	}
+}
+
+// TestAllShapesMatchSerial verifies each shape's engine reproduces the
+// serial trajectory on the same system.
+func TestAllShapesMatchSerial(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.3, 2)
+	const steps = 8
+
+	ser, err := mdserial.New(mdserial.Config{
+		Box: sys.Box, Pair: potential.NewPaperLJ(),
+		Dt: 1e-4, Tref: 0.722, RescaleEvery: 50, Grid: g,
+	}, sys.Set.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser.Run(steps)
+	serSet := ser.Set()
+	serSet.SortByID()
+
+	cases := []struct {
+		shape decomp.Shape
+		p     int
+	}{
+		{decomp.Plane, 4},
+		{decomp.SquarePillar, 4},
+		{decomp.Cube, 8},
+	}
+	for _, c := range cases {
+		res, err := Run(cfgFor(c.shape, c.p, g), sys, steps)
+		if err != nil {
+			t.Fatalf("%v: %v", c.shape, err)
+		}
+		if res.Final.Len() != serSet.Len() {
+			t.Fatalf("%v: N = %d, want %d", c.shape, res.Final.Len(), serSet.Len())
+		}
+		for i := range res.Final.ID {
+			if d := res.Final.Pos[i].Dist(serSet.Pos[i]); d > 1e-7 {
+				t.Fatalf("%v: particle %d diverged by %v", c.shape, res.Final.ID[i], d)
+			}
+		}
+		last := res.Stats[len(res.Stats)-1]
+		if rel := math.Abs(last.TotalEnergy-ser.TotalEnergy()) / (1 + math.Abs(ser.TotalEnergy())); rel > 1e-8 {
+			t.Errorf("%v: energy %v vs serial %v", c.shape, last.TotalEnergy, ser.TotalEnergy())
+		}
+	}
+}
+
+// TestGhostCountsMatchAnalysis verifies the runtime ghost-cell counts equal
+// the closed-form communication surfaces of Section 2.2.
+func TestGhostCountsMatchAnalysis(t *testing.T) {
+	sys, g := testSystem(t, 8, 0.2, 3)
+	cases := []struct {
+		shape decomp.Shape
+		p     int
+	}{
+		{decomp.Plane, 4},
+		{decomp.SquarePillar, 16},
+		{decomp.Cube, 8},
+	}
+	for _, c := range cases {
+		res, err := Run(cfgFor(c.shape, c.p, g), sys, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", c.shape, err)
+		}
+		a, err := decomp.AnalyzeSurface(c.shape, 8, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Stats[0].GhostCellsMax
+		if got != a.GhostCells {
+			t.Errorf("%v: runtime ghosts %d, closed form %d", c.shape, got, a.GhostCells)
+		}
+	}
+}
+
+// TestShapeCommVolumeOrdering verifies the paper's Section 2.2 point as
+// observed message bytes: plane imports more halo data than the pillar.
+func TestShapeCommVolumeOrdering(t *testing.T) {
+	// Same P for both shapes (nc=16 conforms to plane and pillar at P=16):
+	// the pillar must move fewer halo bytes, Section 2.2's argument.
+	sys, g := testSystem(t, 16, 0.2, 4)
+	plane, err := Run(cfgFor(decomp.Plane, 16, g), sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pillar, err := Run(cfgFor(decomp.SquarePillar, 16, g), sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pillar.CommBytes >= plane.CommBytes {
+		t.Errorf("pillar halo bytes %d >= plane %d at equal P", pillar.CommBytes, plane.CommBytes)
+	}
+}
+
+func TestParticleConservation(t *testing.T) {
+	sys, g := testSystem(t, 6, 0.3, 5)
+	cfg := cfgFor(decomp.SquarePillar, 9, g)
+	cfg.Ext = potential.HarmonicWell{Center: sys.Box.L.Scale(0.5), K: 0.5, L: sys.Box.L}
+	cfg.Dt = 0.005
+	res, err := Run(cfg, sys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Len() != sys.Set.Len() {
+		t.Fatalf("N %d -> %d", sys.Set.Len(), res.Final.Len())
+	}
+	if err := res.Final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

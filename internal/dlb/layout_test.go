@@ -1,0 +1,178 @@
+package dlb
+
+import (
+	"testing"
+)
+
+func mustLayout(t *testing.T, s, m int) Layout {
+	t.Helper()
+	l, err := NewLayout(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(1, 2); err == nil {
+		t.Error("s=1 accepted")
+	}
+	if _, err := NewLayout(3, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestLayoutCounts(t *testing.T) {
+	l := mustLayout(t, 3, 4)
+	if l.P() != 9 {
+		t.Errorf("P = %d", l.P())
+	}
+	if l.NxColumns() != 12 {
+		t.Errorf("NxColumns = %d", l.NxColumns())
+	}
+	if l.NumColumns() != 144 {
+		t.Errorf("NumColumns = %d", l.NumColumns())
+	}
+}
+
+func TestOwnerPartition(t *testing.T) {
+	l := mustLayout(t, 3, 3)
+	counts := make([]int, l.P())
+	for col := 0; col < l.NumColumns(); col++ {
+		counts[l.OwnerOf(col)]++
+	}
+	for r, n := range counts {
+		if n != 9 {
+			t.Errorf("rank %d owns %d columns, want 9", r, n)
+		}
+	}
+}
+
+func TestColumnsOfConsistent(t *testing.T) {
+	l := mustLayout(t, 4, 2)
+	seen := map[int]bool{}
+	for r := 0; r < l.P(); r++ {
+		for _, col := range l.ColumnsOf(r) {
+			if l.OwnerOf(col) != r {
+				t.Fatalf("ColumnsOf(%d) includes foreign column %d", r, col)
+			}
+			if seen[col] {
+				t.Fatalf("column %d owned twice", col)
+			}
+			seen[col] = true
+		}
+	}
+	if len(seen) != l.NumColumns() {
+		t.Errorf("columns covered: %d, want %d", len(seen), l.NumColumns())
+	}
+}
+
+func TestPermanentCounts(t *testing.T) {
+	// The paper: m=2 leaves 1/4 movable; m=4 leaves 9/16 movable (Fig. 3
+	// shows 4 movable + 5 permanent for m=3).
+	cases := []struct{ m, wantMovable int }{
+		{1, 0}, {2, 1}, {3, 4}, {4, 9},
+	}
+	for _, c := range cases {
+		l := mustLayout(t, 3, c.m)
+		mv := l.MovableColumnsOf(0)
+		if len(mv) != c.wantMovable {
+			t.Errorf("m=%d: %d movable columns, want %d", c.m, len(mv), c.wantMovable)
+		}
+		perm := 0
+		for _, col := range l.ColumnsOf(0) {
+			if l.IsPermanent(col) {
+				perm++
+			}
+		}
+		if perm != c.m*c.m-c.wantMovable {
+			t.Errorf("m=%d: %d permanent, want %d", c.m, perm, c.m*c.m-c.wantMovable)
+		}
+	}
+}
+
+func TestPermanentIsLastRowAndColumn(t *testing.T) {
+	l := mustLayout(t, 3, 3)
+	for _, col := range l.ColumnsOf(4) { // center PE
+		a, b := l.LocalCoords(col)
+		want := a == 2 || b == 2
+		if l.IsPermanent(col) != want {
+			t.Errorf("col local (%d,%d): IsPermanent = %v", a, b, l.IsPermanent(col))
+		}
+	}
+}
+
+func TestMaxHostedColumns(t *testing.T) {
+	// C' = m^2 + 3(m-1)^2 (Section 4.1); for m=3 the paper's Fig. 4 notes a
+	// PE may hold up to 2.33x its initial 9 columns: 21 columns.
+	cases := []struct{ m, want int }{
+		{1, 1}, {2, 7}, {3, 21}, {4, 43},
+	}
+	for _, c := range cases {
+		l := mustLayout(t, 3, c.m)
+		if got := l.MaxHostedColumns(); got != c.want {
+			t.Errorf("m=%d: C' = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestUpLeftDownRightRanks(t *testing.T) {
+	l := mustLayout(t, 4, 2)
+	r := l.T.Rank(2, 2)
+	ul := l.UpLeftRanks(r)
+	if ul[0] != l.T.Rank(1, 1) || ul[1] != l.T.Rank(1, 2) || ul[2] != l.T.Rank(2, 1) {
+		t.Errorf("UpLeftRanks = %v", ul)
+	}
+	dr := l.DownRightRanks(r)
+	if dr[0] != l.T.Rank(2, 3) || dr[1] != l.T.Rank(3, 2) || dr[2] != l.T.Rank(3, 3) {
+		t.Errorf("DownRightRanks = %v", dr)
+	}
+}
+
+// TestAdjacency8NeighborClosure verifies the paper's central structural
+// claim: any column adjacent (in the 8-connected cross-section sense) to a
+// column that rank r can ever host is itself hosted within r's
+// 8-neighborhood, for every reachable placement. Hosts of a movable column
+// are its owner or the owner's up-left neighbors, so it suffices to check
+// all (host, adjacent-column, adjacent-host) combinations.
+func TestAdjacency8NeighborClosure(t *testing.T) {
+	l := mustLayout(t, 4, 3)
+	n := l.NxColumns()
+	inNbhd := func(a, b int) bool {
+		if a == b {
+			return true
+		}
+		for _, x := range l.T.UniqueNeighbors(a) {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	possibleHosts := func(col int) []int {
+		o := l.OwnerOf(col)
+		if l.IsPermanent(col) {
+			return []int{o}
+		}
+		return append([]int{o}, l.UpLeftRanks(o)...)
+	}
+	for col := 0; col < l.NumColumns(); col++ {
+		cx, cy := l.ColumnCoords(col)
+		for _, h := range possibleHosts(col) {
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					adj := l.ColumnAt(((cx+dx)%n+n)%n, ((cy+dy)%n+n)%n)
+					for _, ah := range possibleHosts(adj) {
+						if !inNbhd(h, ah) {
+							t.Fatalf("column %d (host %d) adjacent to %d (host %d): outside 8-neighborhood",
+								col, h, adj, ah)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package dlb
+
+import (
+	"fmt"
+	"sort"
+
+	"permcell/internal/topology"
+)
+
+// Strategy selects which candidate column a PE hands over when several are
+// eligible. The paper leaves the choice open; MostLoaded transfers the most
+// work per move and is the default. The alternatives exist for the ablation
+// benchmarks.
+type Strategy int
+
+// Column-pick strategies.
+const (
+	PickMostLoaded Strategy = iota
+	PickLeastLoaded
+	PickLowestIndex
+)
+
+// Config tunes the per-step decision.
+type Config struct {
+	// Hysteresis is the relative load gap required before a column moves:
+	// a PE sends only if its load exceeds the fastest neighbor's load by
+	// this fraction. Zero reproduces the paper's protocol literally (any
+	// strictly faster neighbor triggers a move); a small positive value
+	// suppresses ping-ponging when loads are statistically equal.
+	Hysteresis float64
+	// ColLoad reports the current load of a column (e.g. its particle
+	// count). May be nil, in which case all columns weigh the same.
+	ColLoad func(col int) float64
+	// Pick selects among candidate columns.
+	Pick Strategy
+}
+
+// Loads carries the execution times exchanged in protocol step 1: the PE's
+// own last-step load and its 8 neighbors' loads in topology.Offsets8 order.
+type Loads struct {
+	Self     float64
+	Neighbor [8]float64
+}
+
+// Decision is the outcome of one PE's protocol step: move column Col to
+// rank Dest, or nothing (Col < 0). Decisions are broadcast to the 8
+// neighbors (protocol step 4) and applied by every ledger that tracks the
+// column.
+type Decision struct {
+	Col  int
+	Dest int
+}
+
+// None is the empty decision.
+var None = Decision{Col: -1}
+
+// Ledger is one PE's view of column placement. It tracks the host of every
+// column owned by the PE itself and its three down-right neighbors — the
+// exact set for which the PE hears all host-changing decisions (every such
+// move is decided by the PE itself or one of its 8 neighbors; see the
+// package comment and DESIGN.md invariants).
+type Ledger struct {
+	L    Layout
+	Rank int
+
+	host          map[int]int
+	trackedOwners map[int]bool
+}
+
+// NewLedger returns rank's ledger in the initial state (every column at its
+// owner).
+func NewLedger(l Layout, rank int) *Ledger {
+	lg := &Ledger{
+		L:             l,
+		Rank:          rank,
+		host:          make(map[int]int),
+		trackedOwners: map[int]bool{rank: true},
+	}
+	for _, r := range l.DownRightRanks(rank) {
+		lg.trackedOwners[r] = true
+	}
+	for o := range lg.trackedOwners {
+		for _, col := range l.ColumnsOf(o) {
+			lg.host[col] = o
+		}
+	}
+	return lg
+}
+
+// Tracks reports whether the ledger maintains dynamic host state for col.
+func (lg *Ledger) Tracks(col int) bool {
+	return lg.trackedOwners[lg.L.OwnerOf(col)]
+}
+
+// HostOf returns the current host of col. For untracked movable columns —
+// which the halo protocol never needs — it returns an error; untracked
+// permanent columns are resolved statically (they never move).
+func (lg *Ledger) HostOf(col int) (int, error) {
+	if h, ok := lg.host[col]; ok {
+		return h, nil
+	}
+	if lg.L.IsPermanent(col) {
+		return lg.L.OwnerOf(col), nil
+	}
+	return 0, fmt.Errorf("dlb: rank %d cannot resolve host of untracked movable column %d", lg.Rank, col)
+}
+
+// HostedColumns returns the columns currently hosted by this PE, ascending.
+func (lg *Ledger) HostedColumns() []int {
+	var out []int
+	for col, h := range lg.host {
+		if h == lg.Rank {
+			out = append(out, col)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BorrowedFrom returns the columns owned by owner that this PE currently
+// hosts, ascending. Owner must be a tracked owner.
+func (lg *Ledger) BorrowedFrom(owner int) []int {
+	var out []int
+	for _, col := range lg.L.ColumnsOf(owner) {
+		if lg.host[col] == lg.Rank && owner != lg.Rank {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// OwnMovableAtHome returns this PE's own movable columns still hosted by
+// itself, ascending — the Case-1 candidates.
+func (lg *Ledger) OwnMovableAtHome() []int {
+	var out []int
+	for _, col := range lg.L.MovableColumnsOf(lg.Rank) {
+		if lg.host[col] == lg.Rank {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// LentOut returns this PE's own columns currently hosted elsewhere,
+// ascending.
+func (lg *Ledger) LentOut() []int {
+	var out []int
+	for _, col := range lg.L.ColumnsOf(lg.Rank) {
+		if lg.host[col] != lg.Rank {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
+// pick chooses one column from non-empty candidates under cfg.
+func pick(cands []int, cfg Config) int {
+	switch cfg.Pick {
+	case PickLowestIndex:
+		return cands[0] // candidates are ascending
+	case PickLeastLoaded:
+		best, bestLoad := cands[0], loadOf(cands[0], cfg)
+		for _, c := range cands[1:] {
+			if l := loadOf(c, cfg); l < bestLoad {
+				best, bestLoad = c, l
+			}
+		}
+		return best
+	default: // PickMostLoaded
+		best, bestLoad := cands[0], loadOf(cands[0], cfg)
+		for _, c := range cands[1:] {
+			if l := loadOf(c, cfg); l > bestLoad {
+				best, bestLoad = c, l
+			}
+		}
+		return best
+	}
+}
+
+func loadOf(col int, cfg Config) float64 {
+	if cfg.ColLoad == nil {
+		return 1
+	}
+	return cfg.ColLoad(col)
+}
+
+// Decide runs protocol steps 2-3: find the fastest PE among self and the 8
+// neighbors and choose the column to send, if any. It does not mutate the
+// ledger; the caller broadcasts the decision and applies it everywhere
+// (including locally) via Apply.
+func (lg *Ledger) Decide(loads Loads, cfg Config) Decision {
+	// Step 2: fastest slot. Self wins ties; among neighbors the lowest
+	// offset index wins, making the protocol deterministic.
+	fastestK, fastest := -1, loads.Self
+	for k, v := range loads.Neighbor {
+		if v < fastest {
+			fastest, fastestK = v, k
+		}
+	}
+	if fastestK < 0 {
+		return None
+	}
+	if loads.Self <= fastest*(1+cfg.Hysteresis) {
+		return None
+	}
+
+	off := topology.Offsets8[fastestK]
+	pi, pj := lg.L.T.Coords(lg.Rank)
+	dest := lg.L.T.Rank(pi+off.DI, pj+off.DJ)
+
+	switch {
+	case contains(topology.UpLeft, off): // Case 1
+		cands := lg.OwnMovableAtHome()
+		if len(cands) == 0 {
+			return None
+		}
+		return Decision{Col: pick(cands, cfg), Dest: dest}
+	case contains(topology.DownRight, off): // Case 3
+		cands := lg.BorrowedFrom(dest)
+		if len(cands) == 0 {
+			return None
+		}
+		return Decision{Col: pick(cands, cfg), Dest: dest}
+	default: // Case 2
+		return None
+	}
+}
+
+func contains(set []topology.Offset, o topology.Offset) bool {
+	for _, s := range set {
+		if s == o {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply incorporates a decision made by rank decider (protocol step 4).
+// Decisions about columns this ledger does not track are ignored. Tracked
+// decisions are validated against the protocol: only the current host moves
+// a column, permanent columns never move, Case-1 sends go to an up-left
+// neighbor of the owner, and Case-3 returns go back to the owner.
+func (lg *Ledger) Apply(decider int, d Decision) error {
+	if d.Col < 0 {
+		return nil
+	}
+	owner := lg.L.OwnerOf(d.Col)
+	if !lg.trackedOwners[owner] {
+		return nil
+	}
+	cur, ok := lg.host[d.Col]
+	if !ok {
+		return fmt.Errorf("dlb: rank %d: tracked column %d missing from host map", lg.Rank, d.Col)
+	}
+	if cur != decider {
+		return fmt.Errorf("dlb: rank %d: decider %d is not the host (%d) of column %d", lg.Rank, decider, cur, d.Col)
+	}
+	if lg.L.IsPermanent(d.Col) {
+		return fmt.Errorf("dlb: rank %d: permanent column %d may not move", lg.Rank, d.Col)
+	}
+	if decider == owner {
+		// Case 1: owner lends its movable column to an up-left neighbor.
+		if !containsInt(lg.L.UpLeftRanks(owner), d.Dest) {
+			return fmt.Errorf("dlb: rank %d: column %d sent to %d, not an up-left neighbor of owner %d",
+				lg.Rank, d.Col, d.Dest, owner)
+		}
+	} else {
+		// Case 3: a borrower returns the column to its owner.
+		if d.Dest != owner {
+			return fmt.Errorf("dlb: rank %d: borrower %d must return column %d to owner %d, not %d",
+				lg.Rank, decider, d.Col, owner, d.Dest)
+		}
+		if !containsInt(lg.L.UpLeftRanks(owner), decider) {
+			return fmt.Errorf("dlb: rank %d: returner %d is not an up-left neighbor of owner %d",
+				lg.Rank, decider, owner)
+		}
+	}
+	lg.host[d.Col] = d.Dest
+	return nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants verifies the ledger's state against the permanent-cell
+// invariants: every tracked column's host is its owner or one of the
+// owner's up-left neighbors; permanent columns are at home; the hosted set
+// never exceeds C' columns.
+func (lg *Ledger) CheckInvariants() error {
+	for col, h := range lg.host {
+		owner := lg.L.OwnerOf(col)
+		if lg.L.IsPermanent(col) {
+			if h != owner {
+				return fmt.Errorf("dlb: permanent column %d hosted by %d, not owner %d", col, h, owner)
+			}
+			continue
+		}
+		if h != owner && !containsInt(lg.L.UpLeftRanks(owner), h) {
+			return fmt.Errorf("dlb: column %d hosted by %d, outside owner %d's up-left set", col, h, owner)
+		}
+	}
+	if n := len(lg.HostedColumns()); n > lg.L.MaxHostedColumns() {
+		return fmt.Errorf("dlb: rank %d hosts %d columns, exceeding C' = %d",
+			lg.Rank, n, lg.L.MaxHostedColumns())
+	}
+	return nil
+}

@@ -1,0 +1,426 @@
+package dlb
+
+import (
+	"sort"
+	"testing"
+
+	"permcell/internal/rng"
+	"permcell/internal/topology"
+)
+
+func newLedgers(t *testing.T, s, m int) (Layout, []*Ledger) {
+	t.Helper()
+	l := mustLayout(t, s, m)
+	lgs := make([]*Ledger, l.P())
+	for r := range lgs {
+		lgs[r] = NewLedger(l, r)
+	}
+	return l, lgs
+}
+
+// applyEverywhere mimics protocol step 4: the decider's decision reaches
+// its 8 neighbors and itself.
+func applyEverywhere(t *testing.T, l Layout, lgs []*Ledger, decider int, d Decision) {
+	t.Helper()
+	if err := lgs[decider].Apply(decider, d); err != nil {
+		t.Fatalf("decider %d self-apply: %v", decider, err)
+	}
+	for _, nb := range l.T.UniqueNeighbors(decider) {
+		if err := lgs[nb].Apply(decider, d); err != nil {
+			t.Fatalf("neighbor %d applying decision of %d: %v", nb, decider, err)
+		}
+	}
+}
+
+// checkGlobalPartition asserts every column is hosted by exactly one PE.
+func checkGlobalPartition(t *testing.T, l Layout, lgs []*Ledger) {
+	t.Helper()
+	count := make(map[int]int)
+	for _, lg := range lgs {
+		for _, col := range lg.HostedColumns() {
+			count[col]++
+		}
+	}
+	if len(count) != l.NumColumns() {
+		t.Fatalf("only %d of %d columns hosted", len(count), l.NumColumns())
+	}
+	for col, c := range count {
+		if c != 1 {
+			t.Fatalf("column %d hosted by %d PEs", col, c)
+		}
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	checkGlobalPartition(t, l, lgs)
+	for r, lg := range lgs {
+		hosted := lg.HostedColumns()
+		if len(hosted) != 9 {
+			t.Errorf("rank %d initially hosts %d columns", r, len(hosted))
+		}
+		if err := lg.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+		if len(lg.OwnMovableAtHome()) != 4 {
+			t.Errorf("rank %d has %d movable at home, want 4", r, len(lg.OwnMovableAtHome()))
+		}
+		if len(lg.LentOut()) != 0 {
+			t.Errorf("rank %d has lent columns initially", r)
+		}
+	}
+}
+
+func TestHostOfStatic(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	lg := lgs[0]
+	// Tracked column.
+	col := l.ColumnsOf(0)[0]
+	if h, err := lg.HostOf(col); err != nil || h != 0 {
+		t.Errorf("HostOf own column = (%d, %v)", h, err)
+	}
+	// Untracked permanent column resolves statically.
+	farRank := l.T.Rank(2, 0) // up neighbor of 0 on a 3x3 torus; owner of untracked... pick a permanent col of an untracked owner
+	perm := -1
+	for _, c := range l.ColumnsOf(farRank) {
+		if l.IsPermanent(c) && !lg.Tracks(c) {
+			perm = c
+			break
+		}
+	}
+	if perm >= 0 {
+		if h, err := lg.HostOf(perm); err != nil || h != farRank {
+			t.Errorf("HostOf untracked permanent = (%d, %v)", h, err)
+		}
+	}
+	// Untracked movable column errors.
+	for _, c := range l.MovableColumnsOf(farRank) {
+		if !lg.Tracks(c) {
+			if _, err := lg.HostOf(c); err == nil {
+				t.Error("untracked movable column resolved without error")
+			}
+			break
+		}
+	}
+}
+
+func TestDecideNoImbalanceNoMove(t *testing.T) {
+	_, lgs := newLedgers(t, 3, 3)
+	var loads Loads
+	loads.Self = 1
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 1
+	}
+	if d := lgs[4].Decide(loads, Config{}); d.Col >= 0 {
+		t.Errorf("balanced loads produced decision %+v", d)
+	}
+}
+
+func TestDecideCase1SendsOwnMovable(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	me := l.T.Rank(1, 1)
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 10
+	}
+	loads.Neighbor[0] = 1 // offset (-1,-1): Case 1
+	d := lgs[me].Decide(loads, Config{})
+	if d.Col < 0 {
+		t.Fatal("no decision despite idle up-left neighbor")
+	}
+	if l.OwnerOf(d.Col) != me || l.IsPermanent(d.Col) {
+		t.Errorf("sent column %d is not an own movable column", d.Col)
+	}
+	if want := l.T.Rank(0, 0); d.Dest != want {
+		t.Errorf("dest = %d, want %d", d.Dest, want)
+	}
+}
+
+func TestDecideCase2NothingToSend(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	me := l.T.Rank(1, 1)
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 10
+	}
+	loads.Neighbor[2] = 1 // offset (-1,+1): Case 2
+	if d := lgs[me].Decide(loads, Config{}); d.Col >= 0 {
+		t.Errorf("Case 2 produced decision %+v", d)
+	}
+	loads.Neighbor[2] = 10
+	loads.Neighbor[5] = 1 // offset (+1,-1): Case 2
+	if d := lgs[me].Decide(loads, Config{}); d.Col >= 0 {
+		t.Errorf("Case 2 produced decision %+v", d)
+	}
+}
+
+func TestDecideCase3ReturnsBorrowed(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	me := l.T.Rank(1, 1)
+	dr := l.T.Rank(2, 1) // offset (+1,0) from me; me is its up-left neighbor
+
+	// First, dr lends me a movable column (its Case 1).
+	col := l.MovableColumnsOf(dr)[0]
+	lend := Decision{Col: col, Dest: me}
+	applyEverywhere(t, l, lgs, dr, lend)
+	if got := lgs[me].BorrowedFrom(dr); len(got) != 1 || got[0] != col {
+		t.Fatalf("BorrowedFrom = %v", got)
+	}
+
+	// Now dr is fastest; I must return its column.
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 10
+	}
+	loads.Neighbor[6] = 1 // offset (+1,0): Case 3
+	d := lgs[me].Decide(loads, Config{})
+	if d.Col != col || d.Dest != dr {
+		t.Errorf("decision = %+v, want return of %d to %d", d, col, dr)
+	}
+
+	// Without borrowed columns, Case 3 yields nothing.
+	applyEverywhere(t, l, lgs, me, d)
+	if d2 := lgs[me].Decide(loads, Config{}); d2.Col >= 0 {
+		t.Errorf("second return produced %+v", d2)
+	}
+}
+
+func TestDecideCase1ExhaustsMovables(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 2) // m=2: single movable column per PE
+	me := l.T.Rank(1, 1)
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 1
+	}
+	d := lgs[me].Decide(loads, Config{})
+	if d.Col < 0 {
+		t.Fatal("no decision")
+	}
+	applyEverywhere(t, l, lgs, me, d)
+	// All movable columns gone; next decision must be None (the DLB limit).
+	if d2 := lgs[me].Decide(loads, Config{}); d2.Col >= 0 {
+		t.Errorf("sent %+v with no movable columns left", d2)
+	}
+}
+
+func TestDecideHysteresis(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	me := l.T.Rank(1, 1)
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 9.5
+	}
+	if d := lgs[me].Decide(loads, Config{Hysteresis: 0.10}); d.Col >= 0 {
+		t.Errorf("hysteresis ignored: %+v", d)
+	}
+	if d := lgs[me].Decide(loads, Config{Hysteresis: 0}); d.Col < 0 {
+		t.Error("zero hysteresis should move on any gap")
+	}
+}
+
+func TestDecideM1NeverMoves(t *testing.T) {
+	_, lgs := newLedgers(t, 3, 1)
+	loads := Loads{Self: 100}
+	if d := lgs[0].Decide(loads, Config{}); d.Col >= 0 {
+		t.Errorf("m=1 produced decision %+v", d)
+	}
+}
+
+func TestPickStrategies(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	me := l.T.Rank(1, 1)
+	movable := l.MovableColumnsOf(me)
+	colLoad := func(col int) float64 {
+		// Make the middle candidate heaviest, first lightest.
+		for i, c := range movable {
+			if c == col {
+				return float64((i*3)%5 + 1)
+			}
+		}
+		return 0
+	}
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 10
+	}
+	loads.Neighbor[0] = 1
+
+	dMost := lgs[me].Decide(loads, Config{ColLoad: colLoad, Pick: PickMostLoaded})
+	dLeast := lgs[me].Decide(loads, Config{ColLoad: colLoad, Pick: PickLeastLoaded})
+	dLow := lgs[me].Decide(loads, Config{ColLoad: colLoad, Pick: PickLowestIndex})
+	if dLow.Col != movable[0] {
+		t.Errorf("PickLowestIndex chose %d, want %d", dLow.Col, movable[0])
+	}
+	if colLoad(dMost.Col) < colLoad(dLeast.Col) {
+		t.Errorf("PickMostLoaded chose lighter column than PickLeastLoaded")
+	}
+	for _, d := range []Decision{dMost, dLeast, dLow} {
+		if l.IsPermanent(d.Col) {
+			t.Errorf("strategy picked permanent column %d", d.Col)
+		}
+	}
+}
+
+func TestApplyRejectsProtocolViolations(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	me := l.T.Rank(1, 1)
+	lg := lgs[me]
+
+	perm := -1
+	for _, c := range l.ColumnsOf(me) {
+		if l.IsPermanent(c) {
+			perm = c
+			break
+		}
+	}
+	if err := lg.Apply(me, Decision{Col: perm, Dest: l.T.Rank(0, 0)}); err == nil {
+		t.Error("permanent column move accepted")
+	}
+
+	mv := l.MovableColumnsOf(me)[0]
+	// Send to a down-right neighbor (not an up-left neighbor): illegal Case 1.
+	if err := lg.Apply(me, Decision{Col: mv, Dest: l.T.Rank(2, 2)}); err == nil {
+		t.Error("send to down-right neighbor accepted")
+	}
+	// Decision by a rank that is not the host.
+	other := l.T.Rank(2, 1)
+	if err := lg.Apply(other, Decision{Col: mv, Dest: me}); err == nil {
+		t.Error("non-host move accepted")
+	}
+	// Legal move, then an illegal second move by the old host.
+	if err := lg.Apply(me, Decision{Col: mv, Dest: l.T.Rank(0, 0)}); err != nil {
+		t.Fatalf("legal move rejected: %v", err)
+	}
+	if err := lg.Apply(me, Decision{Col: mv, Dest: l.T.Rank(0, 1)}); err == nil {
+		t.Error("move by stale host accepted")
+	}
+}
+
+func TestApplyIgnoresUntracked(t *testing.T) {
+	l, lgs := newLedgers(t, 4, 3)
+	// Rank (0,0)'s ledger must ignore decisions about columns owned by a
+	// distant PE.
+	far := l.T.Rank(2, 2)
+	col := l.MovableColumnsOf(far)[0]
+	if lgs[0].Tracks(col) {
+		t.Fatal("test setup: column unexpectedly tracked")
+	}
+	if err := lgs[0].Apply(far, Decision{Col: col, Dest: l.T.Rank(1, 1)}); err != nil {
+		t.Errorf("untracked decision not ignored: %v", err)
+	}
+}
+
+// TestProtocolSimulation drives all P ledgers through many steps of the full
+// protocol with randomized loads and verifies every invariant the paper's
+// construction promises: single-host partition, host-in-up-left-set,
+// permanent columns at home, C' bound, and cross-ledger agreement.
+func TestProtocolSimulation(t *testing.T) {
+	for _, cfgCase := range []struct {
+		s, m int
+		pick Strategy
+	}{
+		{3, 2, PickMostLoaded},
+		{3, 3, PickLeastLoaded},
+		{4, 3, PickMostLoaded},
+		{4, 4, PickLowestIndex},
+		{2, 3, PickMostLoaded}, // smallest legal torus: offset aliasing stress
+	} {
+		l, lgs := newLedgers(t, cfgCase.s, cfgCase.m)
+		r := rng.New(uint64(1000*cfgCase.s + cfgCase.m))
+		loadOf := make([]float64, l.P())
+
+		for step := 0; step < 300; step++ {
+			// Random loads; occasionally spike one PE to force cascades.
+			for i := range loadOf {
+				loadOf[i] = r.Uniform(1, 2)
+			}
+			if step%3 == 0 {
+				loadOf[r.Intn(l.P())] = r.Uniform(10, 20)
+			}
+
+			decisions := make([]Decision, l.P())
+			for rank, lg := range lgs {
+				var loads Loads
+				loads.Self = loadOf[rank]
+				pi, pj := l.T.Coords(rank)
+				for k, off := range topology.Offsets8 {
+					loads.Neighbor[k] = loadOf[l.T.Rank(pi+off.DI, pj+off.DJ)]
+				}
+				decisions[rank] = lg.Decide(loads, Config{Pick: cfgCase.pick})
+			}
+			for rank, d := range decisions {
+				applyEverywhere(t, l, lgs, rank, d)
+			}
+
+			checkGlobalPartition(t, l, lgs)
+			for _, lg := range lgs {
+				if err := lg.CheckInvariants(); err != nil {
+					t.Fatalf("s=%d m=%d step %d: %v", cfgCase.s, cfgCase.m, step, err)
+				}
+			}
+			// Cross-ledger agreement on shared tracked columns.
+			for a := range lgs {
+				for col, ha := range lgs[a].host {
+					for b := range lgs {
+						if a == b {
+							continue
+						}
+						if hb, ok := lgs[b].host[col]; ok && hb != ha {
+							t.Fatalf("step %d: ledgers %d and %d disagree on column %d (%d vs %d)",
+								step, a, b, col, ha, hb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaxDomainReachable drives one PE to its C' bound: its three down-right
+// neighbors lend it everything they have.
+func TestMaxDomainReachable(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 3)
+	me := l.T.Rank(0, 0)
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 10
+	}
+	// Every down-right neighbor of me sees me as its fastest up-left
+	// neighbor and lends all movable columns over successive steps.
+	for step := 0; step < 10; step++ {
+		for _, donor := range l.DownRightRanks(me) {
+			var dl Loads
+			dl.Self = 10
+			pi, pj := l.T.Coords(donor)
+			for k, off := range topology.Offsets8 {
+				nb := l.T.Rank(pi+off.DI, pj+off.DJ)
+				if nb == me {
+					dl.Neighbor[k] = 1
+				} else {
+					dl.Neighbor[k] = 10
+				}
+			}
+			d := lgs[donor].Decide(dl, Config{})
+			applyEverywhere(t, l, lgs, donor, d)
+		}
+	}
+	got := len(lgs[me].HostedColumns())
+	want := l.MaxHostedColumns() // 9 + 12 = 21 for m=3, the paper's 2.33x
+	if got != want {
+		t.Errorf("max domain = %d columns, want %d", got, want)
+	}
+	for _, lg := range lgs {
+		if err := lg.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	}
+	checkGlobalPartition(t, l, lgs)
+}
+
+func TestHostedColumnsSorted(t *testing.T) {
+	_, lgs := newLedgers(t, 3, 4)
+	h := lgs[5].HostedColumns()
+	if !sort.IntsAreSorted(h) {
+		t.Error("HostedColumns not sorted")
+	}
+}

@@ -1,0 +1,366 @@
+// Package dlb3 generalizes the paper's permanent-cell dynamic load
+// balancing from square-pillar domains to cube domains — the extension the
+// paper's Section 2.2 flags as "more difficult" future work ("the number of
+// neighboring PEs with cube domain is large and DLB becomes more
+// difficult").
+//
+// The construction mirrors internal/dlb one dimension up. Each PE of an
+// s x s x s torus owns an m x m x m block of cells. The three high faces of
+// the block (local coordinate == m-1 in any axis) are permanent; the
+// (m-1)^3 low-corner cells are movable. Movable cells may be lent to the 7
+// "up-left" neighbors (offsets in {-1,0}^3 minus the origin) and returned
+// from them; the permanent shell guarantees any cell adjacent to a hosted
+// cell is hosted within the host's 26-neighborhood, so the communication
+// pattern stays the regular 26-neighbor exchange.
+//
+// The resulting capacity is Q = m^3 + 7(m-1)^3 cells per PE and the
+// effective-range bound is f_cube(m, n) = 7(m-1)^3 / (m^3(n-1) + 7n(m-1)^3)
+// (theory.FCube), derived exactly as the paper's eq. 3-8.
+package dlb3
+
+import (
+	"fmt"
+	"sort"
+
+	"permcell/internal/topology"
+)
+
+// Layout is the static geometry: an S^3 torus of PEs, each owning an M^3
+// block of cells. Cell indices flatten as cx + n*(cy + n*cz), n = S*M.
+type Layout struct {
+	S, M int
+	T    topology.Torus3D
+}
+
+// NewLayout validates and returns a layout.
+func NewLayout(s, m int) (Layout, error) {
+	if s < 2 {
+		return Layout{}, fmt.Errorf("dlb3: torus side must be >= 2, got %d", s)
+	}
+	if m < 1 {
+		return Layout{}, fmt.Errorf("dlb3: m must be >= 1, got %d", m)
+	}
+	t, err := topology.NewTorus3D(s, s, s)
+	if err != nil {
+		return Layout{}, err
+	}
+	return Layout{S: s, M: m, T: t}, nil
+}
+
+// P returns the PE count S^3.
+func (l Layout) P() int { return l.S * l.S * l.S }
+
+// N returns the cells per axis, S*M.
+func (l Layout) N() int { return l.S * l.M }
+
+// NumCells returns (S*M)^3.
+func (l Layout) NumCells() int { n := l.N(); return n * n * n }
+
+// CellAt flattens cell coordinates.
+func (l Layout) CellAt(cx, cy, cz int) int {
+	n := l.N()
+	return cx + n*(cy+n*cz)
+}
+
+// CellCoords inverts CellAt.
+func (l Layout) CellCoords(cell int) (cx, cy, cz int) {
+	n := l.N()
+	cx = cell % n
+	cell /= n
+	cy = cell % n
+	cz = cell / n
+	return
+}
+
+// OwnerOf returns the rank statically owning cell.
+func (l Layout) OwnerOf(cell int) int {
+	cx, cy, cz := l.CellCoords(cell)
+	return l.T.Rank(cx/l.M, cy/l.M, cz/l.M)
+}
+
+// LocalCoords returns cell's coordinates within its owner's block.
+func (l Layout) LocalCoords(cell int) (a, b, c int) {
+	cx, cy, cz := l.CellCoords(cell)
+	return cx % l.M, cy % l.M, cz % l.M
+}
+
+// IsPermanent reports whether cell is on its owner's permanent shell (any
+// local coordinate == M-1).
+func (l Layout) IsPermanent(cell int) bool {
+	a, b, c := l.LocalCoords(cell)
+	return a == l.M-1 || b == l.M-1 || c == l.M-1
+}
+
+// CellsOf returns all cells owned by rank, ascending.
+func (l Layout) CellsOf(rank int) []int {
+	pi, pj, pk := l.T.Coords(rank)
+	out := make([]int, 0, l.M*l.M*l.M)
+	for c := 0; c < l.M; c++ {
+		for b := 0; b < l.M; b++ {
+			for a := 0; a < l.M; a++ {
+				out = append(out, l.CellAt(pi*l.M+a, pj*l.M+b, pk*l.M+c))
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MovableCellsOf returns rank's movable cells, ascending.
+func (l Layout) MovableCellsOf(rank int) []int {
+	var out []int
+	for _, c := range l.CellsOf(rank) {
+		if !l.IsPermanent(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// UpLeftRanks returns the 7 Case-1 neighbor ranks in topology.UpLeft3
+// order.
+func (l Layout) UpLeftRanks(rank int) []int {
+	pi, pj, pk := l.T.Coords(rank)
+	out := make([]int, len(topology.UpLeft3))
+	for i, o := range topology.UpLeft3 {
+		out[i] = l.T.Rank(pi+o.DI, pj+o.DJ, pk+o.DK)
+	}
+	return out
+}
+
+// DownRightRanks returns the 7 Case-3 neighbor ranks in topology.DownRight3
+// order.
+func (l Layout) DownRightRanks(rank int) []int {
+	pi, pj, pk := l.T.Coords(rank)
+	out := make([]int, len(topology.DownRight3))
+	for i, o := range topology.DownRight3 {
+		out[i] = l.T.Rank(pi+o.DI, pj+o.DJ, pk+o.DK)
+	}
+	return out
+}
+
+// MaxHostedCells returns Q = M^3 + 7(M-1)^3.
+func (l Layout) MaxHostedCells() int {
+	return l.M*l.M*l.M + 7*(l.M-1)*(l.M-1)*(l.M-1)
+}
+
+// Loads carries a PE's own load and its 26 neighbors' loads in
+// topology.Offsets26 order.
+type Loads struct {
+	Self     float64
+	Neighbor [26]float64
+}
+
+// Decision moves cell Cell to rank Dest (Cell < 0 = nothing).
+type Decision struct {
+	Cell int
+	Dest int
+}
+
+// None is the empty decision.
+var None = Decision{Cell: -1}
+
+// Config tunes the decision; see dlb.Config.
+type Config struct {
+	Hysteresis float64
+	CellLoad   func(cell int) float64
+}
+
+// Ledger is one PE's placement view, tracking the cells owned by itself and
+// its 7 down-right neighbors — the owners for which this PE hears every
+// host-changing decision (all deciders for such cells lie within the
+// 26-neighborhood, by the same argument as the 2-D case).
+type Ledger struct {
+	L    Layout
+	Rank int
+
+	host          map[int]int
+	trackedOwners map[int]bool
+}
+
+// NewLedger returns rank's ledger in the initial state.
+func NewLedger(l Layout, rank int) *Ledger {
+	lg := &Ledger{
+		L:             l,
+		Rank:          rank,
+		host:          make(map[int]int),
+		trackedOwners: map[int]bool{rank: true},
+	}
+	for _, r := range l.DownRightRanks(rank) {
+		lg.trackedOwners[r] = true
+	}
+	for o := range lg.trackedOwners {
+		for _, cell := range l.CellsOf(o) {
+			lg.host[cell] = o
+		}
+	}
+	return lg
+}
+
+// HostOf resolves a cell's host (tracked dynamically, or statically for
+// permanent cells).
+func (lg *Ledger) HostOf(cell int) (int, error) {
+	if h, ok := lg.host[cell]; ok {
+		return h, nil
+	}
+	if lg.L.IsPermanent(cell) {
+		return lg.L.OwnerOf(cell), nil
+	}
+	return 0, fmt.Errorf("dlb3: rank %d cannot resolve host of untracked movable cell %d", lg.Rank, cell)
+}
+
+// HostedCells returns the cells currently hosted by this PE, ascending.
+func (lg *Ledger) HostedCells() []int {
+	var out []int
+	for cell, h := range lg.host {
+		if h == lg.Rank {
+			out = append(out, cell)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BorrowedFrom returns the cells owned by owner hosted here.
+func (lg *Ledger) BorrowedFrom(owner int) []int {
+	var out []int
+	for _, cell := range lg.L.CellsOf(owner) {
+		if lg.host[cell] == lg.Rank && owner != lg.Rank {
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// OwnMovableAtHome returns this PE's own movable cells still at home.
+func (lg *Ledger) OwnMovableAtHome() []int {
+	var out []int
+	for _, cell := range lg.L.MovableCellsOf(lg.Rank) {
+		if lg.host[cell] == lg.Rank {
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// Decide runs the cube-domain protocol step: find the fastest slot among
+// self and the 26 neighbors, classify its offset, and pick the heaviest
+// eligible cell.
+func (lg *Ledger) Decide(loads Loads, cfg Config) Decision {
+	fastestK, fastest := -1, loads.Self
+	for k, v := range loads.Neighbor {
+		if v < fastest {
+			fastest, fastestK = v, k
+		}
+	}
+	if fastestK < 0 || loads.Self <= fastest*(1+cfg.Hysteresis) {
+		return None
+	}
+	off := topology.Offsets26[fastestK]
+	pi, pj, pk := lg.L.T.Coords(lg.Rank)
+	dest := lg.L.T.Rank(pi+off.DI, pj+off.DJ, pk+off.DK)
+
+	var cands []int
+	switch {
+	case contains3(topology.UpLeft3, off): // Case 1
+		cands = lg.OwnMovableAtHome()
+	case contains3(topology.DownRight3, off): // Case 3
+		cands = lg.BorrowedFrom(dest)
+	default: // Case 2
+		return None
+	}
+	if len(cands) == 0 {
+		return None
+	}
+	best, bestLoad := cands[0], cellLoad(cands[0], cfg)
+	for _, c := range cands[1:] {
+		if l := cellLoad(c, cfg); l > bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	return Decision{Cell: best, Dest: dest}
+}
+
+func cellLoad(cell int, cfg Config) float64 {
+	if cfg.CellLoad == nil {
+		return 1
+	}
+	return cfg.CellLoad(cell)
+}
+
+func contains3(set []topology.Offset3, o topology.Offset3) bool {
+	for _, s := range set {
+		if s == o {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply incorporates a decision by rank decider, with the same legality
+// validation as the 2-D ledger.
+func (lg *Ledger) Apply(decider int, d Decision) error {
+	if d.Cell < 0 {
+		return nil
+	}
+	owner := lg.L.OwnerOf(d.Cell)
+	if !lg.trackedOwners[owner] {
+		return nil
+	}
+	cur, ok := lg.host[d.Cell]
+	if !ok {
+		return fmt.Errorf("dlb3: rank %d: tracked cell %d missing from host map", lg.Rank, d.Cell)
+	}
+	if cur != decider {
+		return fmt.Errorf("dlb3: rank %d: decider %d is not the host (%d) of cell %d", lg.Rank, decider, cur, d.Cell)
+	}
+	if lg.L.IsPermanent(d.Cell) {
+		return fmt.Errorf("dlb3: rank %d: permanent cell %d may not move", lg.Rank, d.Cell)
+	}
+	if decider == owner {
+		if !containsInt(lg.L.UpLeftRanks(owner), d.Dest) {
+			return fmt.Errorf("dlb3: rank %d: cell %d sent to %d, not an up-left neighbor of owner %d",
+				lg.Rank, d.Cell, d.Dest, owner)
+		}
+	} else {
+		if d.Dest != owner {
+			return fmt.Errorf("dlb3: rank %d: borrower %d must return cell %d to owner %d, not %d",
+				lg.Rank, decider, d.Cell, owner, d.Dest)
+		}
+		if !containsInt(lg.L.UpLeftRanks(owner), decider) {
+			return fmt.Errorf("dlb3: rank %d: returner %d is not an up-left neighbor of owner %d",
+				lg.Rank, decider, owner)
+		}
+	}
+	lg.host[d.Cell] = d.Dest
+	return nil
+}
+
+// CheckInvariants verifies the permanent-shell invariants and the Q bound.
+func (lg *Ledger) CheckInvariants() error {
+	for cell, h := range lg.host {
+		owner := lg.L.OwnerOf(cell)
+		if lg.L.IsPermanent(cell) {
+			if h != owner {
+				return fmt.Errorf("dlb3: permanent cell %d hosted by %d, not owner %d", cell, h, owner)
+			}
+			continue
+		}
+		if h != owner && !containsInt(lg.L.UpLeftRanks(owner), h) {
+			return fmt.Errorf("dlb3: cell %d hosted by %d, outside owner %d's up-left set", cell, h, owner)
+		}
+	}
+	if n := len(lg.HostedCells()); n > lg.L.MaxHostedCells() {
+		return fmt.Errorf("dlb3: rank %d hosts %d cells, exceeding Q = %d", lg.Rank, n, lg.L.MaxHostedCells())
+	}
+	return nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

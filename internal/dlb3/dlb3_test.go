@@ -1,0 +1,258 @@
+package dlb3
+
+import (
+	"testing"
+
+	"permcell/internal/rng"
+	"permcell/internal/theory"
+	"permcell/internal/topology"
+)
+
+func newLedgers(t *testing.T, s, m int) (Layout, []*Ledger) {
+	t.Helper()
+	l, err := NewLayout(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgs := make([]*Ledger, l.P())
+	for r := range lgs {
+		lgs[r] = NewLedger(l, r)
+	}
+	return l, lgs
+}
+
+func applyEverywhere(t *testing.T, l Layout, lgs []*Ledger, decider int, d Decision) {
+	t.Helper()
+	if err := lgs[decider].Apply(decider, d); err != nil {
+		t.Fatalf("decider %d self-apply: %v", decider, err)
+	}
+	for _, nb := range l.T.Neighbors26(decider) {
+		if err := lgs[nb].Apply(decider, d); err != nil {
+			t.Fatalf("neighbor %d applying decision of %d: %v", nb, decider, err)
+		}
+	}
+}
+
+func checkGlobalPartition(t *testing.T, l Layout, lgs []*Ledger) {
+	t.Helper()
+	count := make(map[int]int)
+	for _, lg := range lgs {
+		for _, cell := range lg.HostedCells() {
+			count[cell]++
+		}
+	}
+	if len(count) != l.NumCells() {
+		t.Fatalf("only %d of %d cells hosted", len(count), l.NumCells())
+	}
+	for cell, c := range count {
+		if c != 1 {
+			t.Fatalf("cell %d hosted by %d PEs", cell, c)
+		}
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(1, 2); err == nil {
+		t.Error("s=1 accepted")
+	}
+	if _, err := NewLayout(3, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestOffsets3Partition(t *testing.T) {
+	if len(topology.Offsets26) != 26 {
+		t.Fatalf("Offsets26 has %d entries", len(topology.Offsets26))
+	}
+	if len(topology.UpLeft3) != 7 || len(topology.DownRight3) != 7 {
+		t.Fatalf("case sets: %d up-left, %d down-right, want 7/7",
+			len(topology.UpLeft3), len(topology.DownRight3))
+	}
+}
+
+func TestCellsPartitionAndPermanentShell(t *testing.T) {
+	l, _ := NewLayout(2, 3)
+	seen := map[int]bool{}
+	for r := 0; r < l.P(); r++ {
+		cells := l.CellsOf(r)
+		if len(cells) != 27 {
+			t.Fatalf("rank %d owns %d cells", r, len(cells))
+		}
+		movable := l.MovableCellsOf(r)
+		if len(movable) != 8 { // (m-1)^3 = 8
+			t.Errorf("rank %d: %d movable cells, want 8", r, len(movable))
+		}
+		for _, c := range cells {
+			if seen[c] {
+				t.Fatalf("cell %d owned twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != l.NumCells() {
+		t.Errorf("covered %d cells, want %d", len(seen), l.NumCells())
+	}
+}
+
+func TestMaxHostedCells(t *testing.T) {
+	l, _ := NewLayout(2, 3)
+	if got, want := l.MaxHostedCells(), theory.QCubeCells(3); got != want || got != 27+7*8 {
+		t.Errorf("Q = %d, want %d (= 83)", got, want)
+	}
+}
+
+func TestFCubeProperties(t *testing.T) {
+	// f_cube(m,1) = 1; decreasing in n; increasing in m; below 1 for n > 1.
+	for _, m := range []int{2, 3, 4} {
+		if v := theory.MustFCube(m, 1); v < 0.999999 || v > 1.000001 {
+			t.Errorf("f_cube(%d,1) = %v, want 1", m, v)
+		}
+		prev := 2.0
+		for n := 1.0; n <= 4; n += 0.5 {
+			v := theory.MustFCube(m, n)
+			if v > prev+1e-15 {
+				t.Fatalf("f_cube(%d,n) not decreasing at n=%v", m, n)
+			}
+			prev = v
+		}
+	}
+	for n := 1.0; n <= 4; n += 0.5 {
+		if theory.MustFCube(2, n) > theory.MustFCube(3, n)+1e-15 {
+			t.Fatalf("f_cube not increasing in m at n=%v", n)
+		}
+	}
+	if _, err := theory.FCube(1, 2); err == nil {
+		t.Error("m=1 accepted")
+	}
+}
+
+// TestAdjacencyClosure26 verifies the cube-domain analogue of the paper's
+// structural claim: any cell adjacent to a hostable cell is hosted within
+// the host's 26-neighborhood for every reachable placement.
+func TestAdjacencyClosure26(t *testing.T) {
+	l, _ := NewLayout(3, 2)
+	n := l.N()
+	inNbhd := func(a, b int) bool {
+		if a == b {
+			return true
+		}
+		for _, x := range l.T.Neighbors26(a) {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	possibleHosts := func(cell int) []int {
+		o := l.OwnerOf(cell)
+		if l.IsPermanent(cell) {
+			return []int{o}
+		}
+		return append([]int{o}, l.UpLeftRanks(o)...)
+	}
+	w := func(x int) int { return ((x % n) + n) % n }
+	for cell := 0; cell < l.NumCells(); cell++ {
+		cx, cy, cz := l.CellCoords(cell)
+		for _, h := range possibleHosts(cell) {
+			for _, o := range topology.Offsets26 {
+				adj := l.CellAt(w(cx+o.DI), w(cy+o.DJ), w(cz+o.DK))
+				for _, ah := range possibleHosts(adj) {
+					if !inNbhd(h, ah) {
+						t.Fatalf("cell %d (host %d) adjacent to %d (host %d): outside 26-neighborhood",
+							cell, h, adj, ah)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProtocolSimulation3D mirrors the 2-D protocol property test.
+func TestProtocolSimulation3D(t *testing.T) {
+	for _, cse := range []struct{ s, m int }{{2, 2}, {2, 3}, {3, 2}} {
+		l, lgs := newLedgers(t, cse.s, cse.m)
+		r := rng.New(uint64(100*cse.s + cse.m))
+		loadOf := make([]float64, l.P())
+
+		for step := 0; step < 150; step++ {
+			for i := range loadOf {
+				loadOf[i] = r.Uniform(1, 2)
+			}
+			if step%3 == 0 {
+				loadOf[r.Intn(l.P())] = r.Uniform(10, 20)
+			}
+			decisions := make([]Decision, l.P())
+			for rank, lg := range lgs {
+				var loads Loads
+				loads.Self = loadOf[rank]
+				pi, pj, pk := l.T.Coords(rank)
+				for k, off := range topology.Offsets26 {
+					loads.Neighbor[k] = loadOf[l.T.Rank(pi+off.DI, pj+off.DJ, pk+off.DK)]
+				}
+				decisions[rank] = lg.Decide(loads, Config{})
+			}
+			for rank, d := range decisions {
+				applyEverywhere(t, l, lgs, rank, d)
+			}
+			checkGlobalPartition(t, l, lgs)
+			for _, lg := range lgs {
+				if err := lg.CheckInvariants(); err != nil {
+					t.Fatalf("s=%d m=%d step %d: %v", cse.s, cse.m, step, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxDomainReachable3D drives one PE to the Q bound.
+func TestMaxDomainReachable3D(t *testing.T) {
+	l, lgs := newLedgers(t, 2, 2)
+	me := 0
+	for step := 0; step < 20; step++ {
+		for _, donor := range l.DownRightRanks(me) {
+			if donor == me {
+				continue
+			}
+			var dl Loads
+			dl.Self = 10
+			pi, pj, pk := l.T.Coords(donor)
+			for k, off := range topology.Offsets26 {
+				nb := l.T.Rank(pi+off.DI, pj+off.DJ, pk+off.DK)
+				if nb == me {
+					dl.Neighbor[k] = 1
+				} else {
+					dl.Neighbor[k] = 10
+				}
+			}
+			d := lgs[donor].Decide(dl, Config{})
+			applyEverywhere(t, l, lgs, donor, d)
+		}
+	}
+	got := len(lgs[me].HostedCells())
+	want := l.MaxHostedCells() // 8 + 7*1 = 15 for m=2
+	if got != want {
+		t.Errorf("max domain = %d cells, want %d", got, want)
+	}
+	checkGlobalPartition(t, l, lgs)
+}
+
+func TestDecideCase2Mixed3D(t *testing.T) {
+	l, lgs := newLedgers(t, 3, 2)
+	me := l.T.Rank(1, 1, 1)
+	loads := Loads{Self: 10}
+	for k := range loads.Neighbor {
+		loads.Neighbor[k] = 10
+	}
+	// Find a mixed-sign offset (Case 2) and make it the fastest.
+	for k, off := range topology.Offsets26 {
+		mixed := !(off.DI <= 0 && off.DJ <= 0 && off.DK <= 0) &&
+			!(off.DI >= 0 && off.DJ >= 0 && off.DK >= 0)
+		if mixed {
+			loads.Neighbor[k] = 1
+			if d := lgs[me].Decide(loads, Config{}); d.Cell >= 0 {
+				t.Errorf("mixed offset %v produced decision %+v", off, d)
+			}
+			loads.Neighbor[k] = 10
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Result reproduces Table 1: the ratio E/T of the experimental
+// boundary to the theoretical upper bound for each m and PE count.
+type Table1Result struct {
+	Ms, Ps []int
+	// EOverT[m][p]; entries without detected boundaries are absent.
+	EOverT map[int]map[int]float64
+}
+
+// Table1 regenerates Table 1 by running the Fig. 10 sweep at every
+// (m, P) combination of the preset.
+func Table1(pr Preset, seed uint64) (*Table1Result, error) {
+	if len(pr.Table1Ms) > 0 {
+		pr.Ms = pr.Table1Ms
+	}
+	if len(pr.Table1Densities) > 0 {
+		pr.Densities = pr.Table1Densities
+	}
+	r := &Table1Result{Ms: pr.Ms, Ps: pr.Ps, EOverT: make(map[int]map[int]float64)}
+	for mi, m := range pr.Ms {
+		r.EOverT[m] = make(map[int]float64)
+		for pi, p := range pr.Ps {
+			fig, err := Fig10(pr, m, p, seed+uint64(10000*mi+100*pi))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1 m=%d P=%d: %w", m, p, err)
+			}
+			if fig.Fitted {
+				r.EOverT[m][p] = fig.EOverT
+			}
+		}
+	}
+	return r, nil
+}
+
+// Render prints the table in the paper's layout (rows m, columns P).
+func (r *Table1Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: ratio E/T of experimental boundaries to theoretical upper bounds")
+	fmt.Fprintf(w, "  %4s", "m")
+	for _, p := range r.Ps {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%d PEs", p))
+	}
+	fmt.Fprintln(w)
+	for _, m := range r.Ms {
+		fmt.Fprintf(w, "  %4d", m)
+		for _, p := range r.Ps {
+			if v, ok := r.EOverT[m][p]; ok {
+				fmt.Fprintf(w, " %10.3f", v)
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\n  (paper's observations: E/T < 1, increases with m, roughly independent of P)")
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package integrator implements the velocity form of the Verlet algorithm
+// (the paper's integrator, after Heermann) and the velocity-rescaling
+// thermostat the paper applies every 50 time steps.
+//
+// One velocity-Verlet step factors into
+//
+//	HalfKick(dt)  -> v += dt/2 * f
+//	Drift(dt)     -> x += dt * v   (wrapped into the periodic box)
+//	(recompute forces)
+//	HalfKick(dt)  -> v += dt/2 * f
+//
+// so the force computation — the part the engines parallelize — sits between
+// the two half kicks.
+package integrator
+
+import (
+	"math"
+
+	"permcell/internal/particle"
+	"permcell/internal/space"
+)
+
+// HalfKick advances all velocities by dt/2 using the current forces
+// (unit mass).
+func HalfKick(s *particle.Set, dt float64) {
+	h := dt / 2
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].MulAdd(h, s.Frc[i])
+	}
+}
+
+// Drift advances all positions by dt using the current velocities and wraps
+// them into the periodic box.
+func Drift(s *particle.Set, dt float64, b space.Box) {
+	for i := range s.Pos {
+		s.Pos[i] = b.Wrap(s.Pos[i].MulAdd(dt, s.Vel[i]))
+	}
+}
+
+// RescaleFactor returns the velocity scale factor that brings a system with
+// total kinetic energy ke and n particles to target reduced temperature
+// tref. It returns 1 when the system has no kinetic energy or no particles
+// (nothing to scale).
+func RescaleFactor(ke float64, n int, tref float64) float64 {
+	if n == 0 || ke <= 0 {
+		return 1
+	}
+	t := 2 * ke / (3 * float64(n))
+	return math.Sqrt(tref / t)
+}
+
+// Rescale scales all velocities in s by factor.
+func Rescale(s *particle.Set, factor float64) {
+	if factor == 1 {
+		return
+	}
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(factor)
+	}
+}
+
+// RescaleToTemperature sets the instantaneous temperature of s to tref.
+// This is the serial-engine convenience; the parallel engine computes the
+// factor from a global kinetic-energy reduction and applies Rescale locally.
+func RescaleToTemperature(s *particle.Set, tref float64) {
+	Rescale(s, RescaleFactor(s.KineticEnergy(), s.Len(), tref))
+}
+
+// RemoveDrift subtracts the center-of-mass velocity so total momentum is
+// zero. Standard MD initialization hygiene: prevents the whole system from
+// translating through the box.
+func RemoveDrift(s *particle.Set) {
+	n := s.Len()
+	if n == 0 {
+		return
+	}
+	com := s.Momentum().Scale(1 / float64(n))
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Sub(com)
+	}
+}

@@ -1,0 +1,117 @@
+package integrator
+
+import (
+	"math"
+	"testing"
+
+	"permcell/internal/particle"
+	"permcell/internal/rng"
+	"permcell/internal/space"
+	"permcell/internal/vec"
+)
+
+func TestHalfKick(t *testing.T) {
+	s := &particle.Set{}
+	s.Add(0, vec.Zero, vec.New(1, 0, 0))
+	s.Frc[0] = vec.New(0, 2, 0)
+	HalfKick(s, 0.1)
+	want := vec.New(1, 0.1, 0)
+	if s.Vel[0].Dist(want) > 1e-12 {
+		t.Errorf("vel = %v, want %v", s.Vel[0], want)
+	}
+}
+
+func TestDriftWraps(t *testing.T) {
+	b, _ := space.NewCubicBox(10)
+	s := &particle.Set{}
+	s.Add(0, vec.New(9.95, 5, 5), vec.New(1, 0, 0))
+	Drift(s, 0.1, b)
+	if math.Abs(s.Pos[0].X-0.05) > 1e-12 {
+		t.Errorf("pos.X = %v, want 0.05 (wrapped)", s.Pos[0].X)
+	}
+}
+
+func TestRescaleToTemperature(t *testing.T) {
+	s := &particle.Set{}
+	r := rng.New(1)
+	for i := 0; i < 500; i++ {
+		s.Add(int64(i), vec.Zero, r.MaxwellVelocity(2.0, 1))
+	}
+	RescaleToTemperature(s, 0.722)
+	if math.Abs(s.Temperature()-0.722) > 1e-12 {
+		t.Errorf("T after rescale = %v, want 0.722", s.Temperature())
+	}
+}
+
+func TestRescaleFactorEdgeCases(t *testing.T) {
+	if RescaleFactor(0, 10, 1) != 1 {
+		t.Error("zero KE should give factor 1")
+	}
+	if RescaleFactor(5, 0, 1) != 1 {
+		t.Error("empty system should give factor 1")
+	}
+}
+
+func TestRescalePreservesDirection(t *testing.T) {
+	s := &particle.Set{}
+	s.Add(0, vec.Zero, vec.New(3, 4, 0))
+	Rescale(s, 0.5)
+	if s.Vel[0].Dist(vec.New(1.5, 2, 0)) > 1e-12 {
+		t.Errorf("vel = %v", s.Vel[0])
+	}
+}
+
+func TestRemoveDrift(t *testing.T) {
+	s := &particle.Set{}
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		v := r.MaxwellVelocity(1, 1).Add(vec.New(5, 0, 0)) // big drift
+		s.Add(int64(i), vec.Zero, v)
+	}
+	RemoveDrift(s)
+	if p := s.Momentum(); p.Norm() > 1e-9 {
+		t.Errorf("momentum after RemoveDrift = %v", p)
+	}
+}
+
+func TestRemoveDriftEmpty(t *testing.T) {
+	RemoveDrift(&particle.Set{}) // must not panic
+}
+
+// TestVerletHarmonicOscillator integrates a 1-D harmonic oscillator with the
+// half-kick/drift/half-kick sequence and checks energy conservation and
+// phase accuracy, which validates the integrator independent of any MD
+// engine.
+func TestVerletHarmonicOscillator(t *testing.T) {
+	b, _ := space.NewCubicBox(100)
+	s := &particle.Set{}
+	s.Add(0, vec.New(51, 50, 50), vec.Zero) // displaced 1 from center
+	center := vec.New(50, 50, 50)
+	const k = 1.0
+	force := func() {
+		s.ZeroForces()
+		d := s.Pos[0].Sub(center)
+		s.Frc[0] = d.Scale(-k)
+	}
+	energy := func() float64 {
+		d := s.Pos[0].Sub(center)
+		return 0.5*s.Vel[0].Norm2() + 0.5*k*d.Norm2()
+	}
+	force()
+	e0 := energy()
+	const dt = 1e-3
+	steps := int(math.Round(2 * math.Pi / dt)) // one period
+	for i := 0; i < steps; i++ {
+		HalfKick(s, dt)
+		Drift(s, dt, b)
+		force()
+		HalfKick(s, dt)
+	}
+	if math.Abs(energy()-e0) > 1e-6 {
+		t.Errorf("energy drift: %v -> %v", e0, energy())
+	}
+	// After one period the particle should be back near x = 51.
+	if math.Abs(s.Pos[0].X-51) > 1e-2 {
+		t.Errorf("after one period x = %v, want ~51", s.Pos[0].X)
+	}
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"permcell/internal/particle"
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/vec"
+	"permcell/internal/workload"
+)
+
+// bruteForce computes reference forces and energy with a plain O(N^2) loop.
+func bruteForce(box space.Box, pair potential.Pair, pos []vec.V) ([]vec.V, float64) {
+	frc := make([]vec.V, len(pos))
+	var pot float64
+	rc2 := pair.Cutoff() * pair.Cutoff()
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			d := box.Displacement(pos[i], pos[j])
+			r2 := d.Norm2()
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			en, f := pair.EnergyForce(r2)
+			pot += en
+			fv := d.Scale(f)
+			frc[i] = frc[i].Add(fv)
+			frc[j] = frc[j].Sub(fv)
+		}
+	}
+	return frc, pot
+}
+
+func setup(t *testing.T) (workload.System, space.Grid) {
+	t.Helper()
+	sys, err := workload.LatticeGas(256, 0.4, 0.722, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := space.NewGrid(sys.Box, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, g
+}
+
+func buildMaps(g space.Grid, s *particle.Set, hostedPred func(cell int) bool) (cellMap map[int][]int, hosted map[int]bool) {
+	cellMap = make(map[int][]int)
+	hosted = make(map[int]bool)
+	for c := 0; c < g.NumCells(); c++ {
+		if hostedPred(c) {
+			hosted[c] = true
+			cellMap[c] = nil
+		}
+	}
+	for i := range s.Pos {
+		c := g.CellOf(s.Pos[i])
+		if hosted[c] {
+			cellMap[c] = append(cellMap[c], i)
+		}
+	}
+	return cellMap, hosted
+}
+
+func TestPairForcesAllHostedMatchesBruteForce(t *testing.T) {
+	sys, g := setup(t)
+	lj := potential.NewPaperLJ()
+	// Jiggle off the lattice so forces are nonzero: shift alternating
+	// particles slightly.
+	for i := range sys.Set.Pos {
+		if i%2 == 0 {
+			sys.Set.Pos[i] = g.Box.Wrap(sys.Set.Pos[i].Add(vec.New(0.1, -0.07, 0.05)))
+		}
+	}
+	cellMap, hosted := buildMaps(g, sys.Set, func(int) bool { return true })
+	sys.Set.ZeroForces()
+	pot, pairs := PairForces(g, lj, sys.Set, cellMap, hosted, nil)
+	if pairs <= 0 {
+		t.Fatal("no pairs evaluated")
+	}
+	wantFrc, wantPot := bruteForce(g.Box, lj, sys.Set.Pos)
+	if math.Abs(pot-wantPot) > 1e-9*(1+math.Abs(wantPot)) {
+		t.Errorf("pot = %v, want %v", pot, wantPot)
+	}
+	for i := range wantFrc {
+		if wantFrc[i].Dist(sys.Set.Frc[i]) > 1e-9*(1+wantFrc[i].Norm()) {
+			t.Fatalf("force %d mismatch", i)
+		}
+	}
+}
+
+func TestPairForcesGhostSplit(t *testing.T) {
+	// Split the box into two hosts at a cell boundary; each side computes
+	// with the other side's particles as ghosts. Summed energies must equal
+	// the brute-force total, and each local particle's force must match.
+	sys, g := setup(t)
+	lj := potential.NewPaperLJ()
+	wantFrc, wantPot := bruteForce(g.Box, lj, sys.Set.Pos)
+
+	half := g.Nx / 2
+	inA := func(cell int) bool { ix, _, _ := g.Coords(cell); return ix < half }
+
+	var totalPot float64
+	for side := 0; side < 2; side++ {
+		pred := inA
+		if side == 1 {
+			pred = func(cell int) bool { return !inA(cell) }
+		}
+		// Local set: only particles in hosted cells; ghosts from the rest.
+		local := &particle.Set{}
+		idxOf := map[int]int{} // global particle index -> local index
+		for i := range sys.Set.Pos {
+			if pred(g.CellOf(sys.Set.Pos[i])) {
+				idxOf[i] = local.Add(sys.Set.ID[i], sys.Set.Pos[i], sys.Set.Vel[i])
+			}
+		}
+		cellMap, hosted := buildMaps(g, local, pred)
+		ghost := make(map[int][]vec.V)
+		for i := range sys.Set.Pos {
+			c := g.CellOf(sys.Set.Pos[i])
+			if !hosted[c] {
+				ghost[c] = append(ghost[c], sys.Set.Pos[i])
+			}
+		}
+		local.ZeroForces()
+		pot, _ := PairForces(g, lj, local, cellMap, hosted, ghost)
+		totalPot += pot
+		for gi, li := range idxOf {
+			if wantFrc[gi].Dist(local.Frc[li]) > 1e-9*(1+wantFrc[gi].Norm()) {
+				t.Fatalf("side %d: particle %d force mismatch", side, gi)
+			}
+		}
+	}
+	if math.Abs(totalPot-wantPot) > 1e-9*(1+math.Abs(wantPot)) {
+		t.Errorf("summed pot = %v, want %v", totalPot, wantPot)
+	}
+}
+
+func TestExternalForces(t *testing.T) {
+	s := &particle.Set{}
+	s.Add(0, vec.New(1, 0, 0), vec.Zero)
+	well := potential.HarmonicWell{Center: vec.Zero, K: 2, L: vec.New(100, 100, 100)}
+	e := ExternalForces(well, s)
+	if math.Abs(e-1) > 1e-12 {
+		t.Errorf("energy = %v, want 1", e)
+	}
+	if s.Frc[0].Dist(vec.New(-2, 0, 0)) > 1e-12 {
+		t.Errorf("force = %v", s.Frc[0])
+	}
+	if ExternalForces(potential.NoField{}, s) != 0 {
+		t.Error("NoField energy nonzero")
+	}
+}

@@ -1,0 +1,83 @@
+// Package lsq provides the small least-squares fits used by the Section 4.2
+// analysis: the paper computes experimental boundaries by least-squares
+// fitting the measured boundary points against the shape of the theoretical
+// bound, and Table 1 reports the resulting experimental/theoretical ratio.
+package lsq
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitScale fits y ~= a*x by least squares and returns a = sum(x*y)/sum(x^2).
+// This is the fit behind Table 1: with x = f(m, n_i) (theory) and
+// y = measured boundary C_0/C, the fitted a is the E/T ratio.
+func FitScale(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, fmt.Errorf("lsq: need equal-length non-empty inputs, got %d and %d", len(xs), len(ys))
+	}
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	if sxx == 0 {
+		return 0, fmt.Errorf("lsq: all x values are zero")
+	}
+	return sxy / sxx, nil
+}
+
+// FitLine fits y ~= slope*x + intercept by ordinary least squares.
+func FitLine(xs, ys []float64) (slope, intercept float64, err error) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0, fmt.Errorf("lsq: need at least two points, got %d", n)
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("lsq: degenerate x values")
+	}
+	slope = (fn*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / fn
+	return slope, intercept, nil
+}
+
+// Residual returns the root-mean-square residual of y against a*x.
+func Residual(xs, ys []float64, a float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range xs {
+		d := ys[i] - a*xs[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanStd returns the mean and (population) standard deviation of vals —
+// used for the error ranges on the experimental boundary points, which the
+// paper derives from ten runs per point.
+func MeanStd(vals []float64) (mean, std float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return mean, std
+}

@@ -1,0 +1,94 @@
+package lsq
+
+import (
+	"math"
+	"testing"
+
+	"permcell/internal/rng"
+)
+
+func TestFitScaleExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	a, err := FitScale(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 1e-12 {
+		t.Errorf("a = %v, want 2", a)
+	}
+}
+
+func TestFitScaleNoisy(t *testing.T) {
+	r := rng.New(1)
+	var xs, ys []float64
+	for i := 0; i < 1000; i++ {
+		x := r.Uniform(0.5, 3)
+		xs = append(xs, x)
+		ys = append(ys, 0.7*x+r.NormScaled(0, 0.01))
+	}
+	a, err := FitScale(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.7) > 0.01 {
+		t.Errorf("a = %v, want ~0.7", a)
+	}
+}
+
+func TestFitScaleErrors(t *testing.T) {
+	if _, err := FitScale(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitScale([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitScale([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero x accepted")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	s, b, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
+		t.Errorf("fit = %v x + %v, want 2x+1", s, b)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, _, err := FitLine([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := FitLine([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	xs := []float64{1, 2}
+	ys := []float64{2, 4}
+	if r := Residual(xs, ys, 2); r != 0 {
+		t.Errorf("exact fit residual = %v", r)
+	}
+	if r := Residual(xs, ys, 0); math.Abs(r-math.Sqrt(10)) > 1e-12 {
+		t.Errorf("residual = %v", r)
+	}
+	if Residual(nil, nil, 1) != 0 {
+		t.Error("empty residual nonzero")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 || math.Abs(s-2) > 1e-12 {
+		t.Errorf("mean/std = %v/%v, want 5/2", m, s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Error("empty MeanStd nonzero")
+	}
+}

@@ -1,0 +1,155 @@
+// Package obs computes standard MD observables from particle
+// configurations: the radial distribution function g(r), cluster analysis
+// via cut-off linkage (droplet census for condensing runs), and mean square
+// displacement. These are not part of the paper's evaluation but are the
+// observables any adopter of the library needs to validate physics.
+package obs
+
+import (
+	"fmt"
+	"math"
+
+	"permcell/internal/particle"
+	"permcell/internal/space"
+	"permcell/internal/vec"
+)
+
+// RDF is a radial distribution function accumulated over one or more
+// configurations.
+type RDF struct {
+	RMax  float64
+	Bins  []float64 // raw pair counts per bin
+	width float64
+	nConf int
+	nPart int
+	box   space.Box
+}
+
+// NewRDF returns an accumulator with the given bin count up to rmax.
+func NewRDF(box space.Box, rmax float64, bins int) (*RDF, error) {
+	if rmax <= 0 || bins < 1 {
+		return nil, fmt.Errorf("obs: need rmax > 0 and bins >= 1")
+	}
+	half := math.Min(box.L.X, math.Min(box.L.Y, box.L.Z)) / 2
+	if rmax > half {
+		return nil, fmt.Errorf("obs: rmax %g exceeds half the box (%g)", rmax, half)
+	}
+	return &RDF{RMax: rmax, Bins: make([]float64, bins), width: rmax / float64(bins), box: box}, nil
+}
+
+// Accumulate adds one configuration (O(N^2); intended for analysis, not
+// inner loops).
+func (r *RDF) Accumulate(s *particle.Set) {
+	n := s.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Sqrt(r.box.Dist2(s.Pos[i], s.Pos[j]))
+			if d >= r.RMax {
+				continue
+			}
+			r.Bins[int(d/r.width)] += 2 // each pair counts for both particles
+		}
+	}
+	r.nConf++
+	r.nPart = n
+}
+
+// Values returns bin centers and the normalized g(r).
+func (r *RDF) Values() (rs, g []float64) {
+	rs = make([]float64, len(r.Bins))
+	g = make([]float64, len(r.Bins))
+	if r.nConf == 0 || r.nPart == 0 {
+		return rs, g
+	}
+	rho := float64(r.nPart) / r.box.Volume()
+	for b := range r.Bins {
+		rLo := float64(b) * r.width
+		rHi := rLo + r.width
+		shell := 4 * math.Pi / 3 * (rHi*rHi*rHi - rLo*rLo*rLo)
+		ideal := rho * shell * float64(r.nPart) * float64(r.nConf)
+		rs[b] = rLo + r.width/2
+		if ideal > 0 {
+			g[b] = r.Bins[b] / ideal
+		}
+	}
+	return rs, g
+}
+
+// Clusters returns the sizes of particle clusters under cut-off linkage:
+// two particles belong to the same cluster when their minimum-image
+// distance is below link. Sizes are returned descending in count order is
+// not guaranteed; callers sort as needed.
+func Clusters(s *particle.Set, box space.Box, link float64) []int {
+	n := s.Len()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	link2 := link * link
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if box.Dist2(s.Pos[i], s.Pos[j]) < link2 {
+				union(i, j)
+			}
+		}
+	}
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		counts[find(i)]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	return out
+}
+
+// MSD tracks mean square displacement against a reference configuration,
+// unwrapping periodic jumps under the assumption that no particle moves
+// more than half a box edge between updates.
+type MSD struct {
+	box     space.Box
+	ref     []vec.V // reference positions
+	unwrap  []vec.V // accumulated unwrapped displacement
+	lastPos []vec.V
+}
+
+// NewMSD captures the reference configuration.
+func NewMSD(s *particle.Set, box space.Box) *MSD {
+	m := &MSD{
+		box:     box,
+		ref:     append([]vec.V(nil), s.Pos...),
+		unwrap:  make([]vec.V, s.Len()),
+		lastPos: append([]vec.V(nil), s.Pos...),
+	}
+	return m
+}
+
+// Update advances the unwrapped displacements and returns the current MSD.
+func (m *MSD) Update(s *particle.Set) (float64, error) {
+	if s.Len() != len(m.ref) {
+		return 0, fmt.Errorf("obs: particle count changed (%d -> %d)", len(m.ref), s.Len())
+	}
+	var sum float64
+	for i := range m.ref {
+		step := m.box.Displacement(s.Pos[i], m.lastPos[i])
+		m.unwrap[i] = m.unwrap[i].Add(step)
+		m.lastPos[i] = s.Pos[i]
+		sum += m.unwrap[i].Norm2()
+	}
+	return sum / float64(len(m.ref)), nil
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"permcell/internal/particle"
+	"permcell/internal/rng"
+	"permcell/internal/space"
+	"permcell/internal/vec"
+)
+
+func TestNewRDFValidation(t *testing.T) {
+	box, _ := space.NewCubicBox(10)
+	if _, err := NewRDF(box, 0, 10); err == nil {
+		t.Error("rmax=0 accepted")
+	}
+	if _, err := NewRDF(box, 2, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := NewRDF(box, 6, 10); err == nil {
+		t.Error("rmax beyond half box accepted")
+	}
+}
+
+func TestRDFIdealGasIsFlat(t *testing.T) {
+	box, _ := space.NewCubicBox(12)
+	r, err := NewRDF(box, 5, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	for conf := 0; conf < 20; conf++ {
+		s := &particle.Set{}
+		for i := 0; i < 400; i++ {
+			s.Add(int64(i), src.InBox(box.L), vec.Zero)
+		}
+		r.Accumulate(s)
+	}
+	rs, g := r.Values()
+	// Skip the first bins (poor statistics in tiny shells).
+	for b := 3; b < len(g); b++ {
+		if math.Abs(g[b]-1) > 0.15 {
+			t.Errorf("ideal gas g(%.2f) = %v, want ~1", rs[b], g[b])
+		}
+	}
+}
+
+func TestRDFPairPeak(t *testing.T) {
+	// Two particles at fixed separation 1.5 -> a single sharp peak there.
+	box, _ := space.NewCubicBox(10)
+	r, err := NewRDF(box, 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &particle.Set{}
+	s.Add(0, vec.New(1, 1, 1), vec.Zero)
+	s.Add(1, vec.New(2.5, 1, 1), vec.Zero)
+	r.Accumulate(s)
+	rs, g := r.Values()
+	peak := 0
+	for b := range g {
+		if g[b] > g[peak] {
+			peak = b
+		}
+	}
+	if math.Abs(rs[peak]-1.5) > 0.1 {
+		t.Errorf("peak at r=%v, want 1.5", rs[peak])
+	}
+}
+
+func TestRDFEmpty(t *testing.T) {
+	box, _ := space.NewCubicBox(10)
+	r, _ := NewRDF(box, 4, 10)
+	_, g := r.Values()
+	for _, v := range g {
+		if v != 0 {
+			t.Error("unaccumulated RDF nonzero")
+		}
+	}
+}
+
+func TestClusters(t *testing.T) {
+	box, _ := space.NewCubicBox(20)
+	s := &particle.Set{}
+	// Cluster A: 3 particles chained at distance 1.
+	s.Add(0, vec.New(1, 1, 1), vec.Zero)
+	s.Add(1, vec.New(2, 1, 1), vec.Zero)
+	s.Add(2, vec.New(3, 1, 1), vec.Zero)
+	// Cluster B: 2 particles, linked across the periodic boundary.
+	s.Add(3, vec.New(19.8, 10, 10), vec.Zero)
+	s.Add(4, vec.New(0.2, 10, 10), vec.Zero)
+	// Singleton.
+	s.Add(5, vec.New(10, 15, 5), vec.Zero)
+
+	sizes := Clusters(s, box, 1.2)
+	sort.Ints(sizes)
+	want := []int{1, 2, 3}
+	if len(sizes) != 3 || sizes[0] != want[0] || sizes[1] != want[1] || sizes[2] != want[2] {
+		t.Errorf("cluster sizes = %v, want %v", sizes, want)
+	}
+}
+
+func TestClustersAllLinked(t *testing.T) {
+	box, _ := space.NewCubicBox(10)
+	s := &particle.Set{}
+	for i := 0; i < 5; i++ {
+		s.Add(int64(i), vec.New(float64(i)*0.5, 1, 1), vec.Zero)
+	}
+	sizes := Clusters(s, box, 0.7)
+	if len(sizes) != 1 || sizes[0] != 5 {
+		t.Errorf("sizes = %v, want [5]", sizes)
+	}
+}
+
+func TestMSDStationary(t *testing.T) {
+	box, _ := space.NewCubicBox(10)
+	s := &particle.Set{}
+	s.Add(0, vec.New(1, 2, 3), vec.Zero)
+	m := NewMSD(s, box)
+	v, err := m.Update(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("stationary MSD = %v", v)
+	}
+}
+
+func TestMSDUnwrapsPeriodicCrossing(t *testing.T) {
+	box, _ := space.NewCubicBox(10)
+	s := &particle.Set{}
+	s.Add(0, vec.New(9.9, 5, 5), vec.Zero)
+	m := NewMSD(s, box)
+	// Move +0.2 across the boundary: wrapped position 0.1.
+	s.Pos[0] = vec.New(0.1, 5, 5)
+	v, err := m.Update(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.04) > 1e-12 {
+		t.Errorf("MSD across boundary = %v, want 0.04", v)
+	}
+}
+
+func TestMSDCountChange(t *testing.T) {
+	box, _ := space.NewCubicBox(10)
+	s := &particle.Set{}
+	s.Add(0, vec.New(1, 1, 1), vec.Zero)
+	m := NewMSD(s, box)
+	s.Add(1, vec.New(2, 2, 2), vec.Zero)
+	if _, err := m.Update(s); err == nil {
+		t.Error("count change not detected")
+	}
+}

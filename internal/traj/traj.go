@@ -1,0 +1,141 @@
+// Package traj reads and writes particle configurations: the (extended)
+// XYZ text format for visualization tools, and gob checkpoints that capture
+// a full serial-engine state for exact restarts.
+package traj
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"permcell/internal/particle"
+	"permcell/internal/space"
+	"permcell/internal/vec"
+)
+
+// WriteXYZ writes one frame in extended XYZ: the particle count, a comment
+// line, then "Ar x y z vx vy vz" per particle (IDs are preserved by line
+// order after a SortByID, which the writer applies to a copy).
+func WriteXYZ(w io.Writer, comment string, s *particle.Set) error {
+	c := s.Clone()
+	c.SortByID()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n%s\n", c.Len(), sanitizeComment(comment)); err != nil {
+		return err
+	}
+	for i := 0; i < c.Len(); i++ {
+		p, v := c.Pos[i], c.Vel[i]
+		if _, err := fmt.Fprintf(bw, "Ar %.17g %.17g %.17g %.17g %.17g %.17g\n",
+			p.X, p.Y, p.Z, v.X, v.Y, v.Z); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sanitizeComment(c string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(c, "\n", " "), "\r", " ")
+}
+
+// ReadXYZ reads one frame written by WriteXYZ (velocities optional: plain
+// 3-column XYZ is accepted with zero velocities). Particle IDs are assigned
+// by line order.
+func ReadXYZ(r io.Reader) (*particle.Set, string, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, "", fmt.Errorf("traj: reading count: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || n < 0 {
+		return nil, "", fmt.Errorf("traj: bad particle count %q", strings.TrimSpace(header))
+	}
+	comment, err := br.ReadString('\n')
+	if err != nil {
+		return nil, "", fmt.Errorf("traj: reading comment: %w", err)
+	}
+	comment = strings.TrimRight(comment, "\r\n")
+	set := &particle.Set{}
+	for i := 0; i < n; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil && !(err == io.EOF && line != "") {
+			return nil, "", fmt.Errorf("traj: reading particle %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 && len(fields) != 7 {
+			return nil, "", fmt.Errorf("traj: particle %d has %d fields, want 4 or 7", i, len(fields))
+		}
+		vals := make([]float64, len(fields)-1)
+		for k, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("traj: particle %d field %d: %w", i, k, err)
+			}
+			vals[k] = v
+		}
+		pos := vec.New(vals[0], vals[1], vals[2])
+		vel := vec.Zero
+		if len(vals) == 6 {
+			vel = vec.New(vals[3], vals[4], vals[5])
+		}
+		set.Add(int64(i), pos, vel)
+	}
+	return set, comment, nil
+}
+
+// Checkpoint is a full restartable snapshot.
+type Checkpoint struct {
+	BoxL  vec.V
+	Step  int
+	ID    []int64
+	Pos   []vec.V
+	Vel   []vec.V
+	Extra map[string]float64 // engine-specific scalars (seeds, accumulators)
+}
+
+// NewCheckpoint captures a snapshot.
+func NewCheckpoint(box space.Box, step int, s *particle.Set) *Checkpoint {
+	return &Checkpoint{
+		BoxL: box.L,
+		Step: step,
+		ID:   append([]int64(nil), s.ID...),
+		Pos:  append([]vec.V(nil), s.Pos...),
+		Vel:  append([]vec.V(nil), s.Vel...),
+	}
+}
+
+// Save gob-encodes the checkpoint.
+func (c *Checkpoint) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// LoadCheckpoint decodes a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("traj: decoding checkpoint: %w", err)
+	}
+	if len(c.ID) != len(c.Pos) || len(c.Pos) != len(c.Vel) {
+		return nil, fmt.Errorf("traj: ragged checkpoint arrays")
+	}
+	return &c, nil
+}
+
+// Restore rebuilds the box and particle set.
+func (c *Checkpoint) Restore() (space.Box, *particle.Set, error) {
+	box, err := space.NewBox(c.BoxL)
+	if err != nil {
+		return space.Box{}, nil, fmt.Errorf("traj: %w", err)
+	}
+	s := &particle.Set{}
+	for i := range c.ID {
+		s.Add(c.ID[i], c.Pos[i], c.Vel[i])
+	}
+	if err := s.Validate(); err != nil {
+		return space.Box{}, nil, fmt.Errorf("traj: %w", err)
+	}
+	return box, s, nil
+}

@@ -1,0 +1,173 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"permcell/internal/mdserial"
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/workload"
+)
+
+func TestXYZRoundTrip(t *testing.T) {
+	sys, err := workload.LatticeGas(64, 0.3, 0.722, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, "frame 1", sys.Set); err != nil {
+		t.Fatal(err)
+	}
+	got, comment, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comment != "frame 1" {
+		t.Errorf("comment = %q", comment)
+	}
+	if got.Len() != 64 {
+		t.Fatalf("N = %d", got.Len())
+	}
+	want := sys.Set.Clone()
+	want.SortByID()
+	for i := range got.Pos {
+		if got.Pos[i] != want.Pos[i] || got.Vel[i] != want.Vel[i] {
+			t.Fatalf("particle %d round trip mismatch", i)
+		}
+	}
+}
+
+func TestXYZPlainThreeColumn(t *testing.T) {
+	in := "2\nplain\nAr 1 2 3\nAr 4 5 6\n"
+	s, _, err := ReadXYZ(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Pos[1].X != 4 || s.Vel[0].Norm() != 0 {
+		t.Errorf("parsed %v", s.Pos)
+	}
+}
+
+func TestXYZCommentSanitized(t *testing.T) {
+	sys, _ := workload.LatticeGas(8, 0.3, 0.722, 2)
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, "line1\nline2", sys.Set); err != nil {
+		t.Fatal(err)
+	}
+	_, comment, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(comment, "\n") {
+		t.Error("newline survived in comment")
+	}
+}
+
+func TestXYZErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"abc\ncomment\n",
+		"1\ncomment\nAr 1 2\n",
+		"2\ncomment\nAr 1 2 3\n",
+		"1\ncomment\nAr x y z\n",
+	}
+	for _, in := range cases {
+		if _, _, err := ReadXYZ(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	sys, err := workload.LatticeGas(125, 0.256, 0.722, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewCheckpoint(sys.Box, 42, sys.Set)
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 42 {
+		t.Errorf("step = %d", got.Step)
+	}
+	box, set, err := got.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.L != sys.Box.L || set.Len() != 125 {
+		t.Error("restore mismatch")
+	}
+	for i := range set.Pos {
+		if set.Pos[i] != sys.Set.Pos[i] || set.Vel[i] != sys.Set.Vel[i] {
+			t.Fatalf("particle %d mismatch", i)
+		}
+	}
+}
+
+func TestCheckpointExactRestart(t *testing.T) {
+	// Saving mid-run and restarting must reproduce the original trajectory
+	// bit for bit (forces are recomputed from positions).
+	sys, err := workload.LatticeGas(125, 0.256, 0.722, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mdserial.Config{Box: sys.Box, Pair: potential.NewPaperLJ(), Dt: 1e-3}
+	ref, err := mdserial.New(cfg, sys.Set.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(60)
+
+	half, err := mdserial.New(cfg, sys.Set.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.Run(30)
+	var buf bytes.Buffer
+	if err := NewCheckpoint(sys.Box, half.StepCount(), half.Set()).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, set, err := cp.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Box = box
+	resumed, err := mdserial.New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Run(30)
+
+	a, b := ref.Set(), resumed.Set()
+	a.SortByID()
+	b.SortByID()
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("restart diverged at particle %d", i)
+		}
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	if _, err := LoadCheckpoint(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRestoreRaggedRejected(t *testing.T) {
+	cp := &Checkpoint{BoxL: space.Box{}.L}
+	if _, _, err := cp.Restore(); err == nil {
+		t.Error("zero box accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	for _, tr := range []float64{0.1, 0.722, 1, 2.5} {
+		k := TemperatureToKelvin(tr)
+		back := TemperatureFromKelvin(k)
+		if math.Abs(back-tr) > 1e-12 {
+			t.Errorf("round trip %v -> %v -> %v", tr, k, back)
+		}
+	}
+}
+
+func TestPaperTemperatureIsSupercooled(t *testing.T) {
+	// Tref = 0.722 must be below Argon's boiling point (~87.3 K).
+	k := TemperatureToKelvin(PaperTref)
+	if k >= 87.3 {
+		t.Errorf("Tref in Kelvin = %v, expected below Argon boiling point", k)
+	}
+	if k < 80 {
+		t.Errorf("Tref in Kelvin = %v, implausibly low for 0.722*119.8", k)
+	}
+}
+
+func TestArgonTimeUnit(t *testing.T) {
+	// The Argon reduced time unit is about 2.15 ps.
+	tu := ArgonTimeUnitSeconds()
+	if tu < 2.0e-12 || tu > 2.3e-12 {
+		t.Errorf("Argon time unit = %v s, want ~2.15e-12", tu)
+	}
+}
+
+func TestEpsilonConsistency(t *testing.T) {
+	// ArgonEpsilonJoules must equal ArgonEpsilonKelvin * k_B.
+	want := ArgonEpsilonKelvin * BoltzmannJPerK
+	if math.Abs(ArgonEpsilonJoules-want)/want > 1e-4 {
+		t.Errorf("epsilon = %v J, want %v J", ArgonEpsilonJoules, want)
+	}
+}
+
+func TestDensityConversionPositive(t *testing.T) {
+	d := DensityToPerM3(PaperDensity)
+	// Liquid argon is ~2.1e28 atoms/m^3; rho*=0.256 is a gas-like fraction
+	// of that. Sanity range check.
+	if d < 1e27 || d > 1e28 {
+		t.Errorf("density = %v per m^3, out of sanity range", d)
+	}
+}
+
+func TestLengthAndEnergyScale(t *testing.T) {
+	if LengthToMeters(2) != 2*ArgonSigmaMeters {
+		t.Error("LengthToMeters wrong scale")
+	}
+	if EnergyToJoules(3) != 3*ArgonEpsilonJoules {
+		t.Error("EnergyToJoules wrong scale")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if PaperCutoff < 2.5 || PaperCutoff > 3.5 {
+		t.Error("cutoff outside the 2.5..3.5 range the paper quotes")
+	}
+	if PaperRescaleInterval != 50 {
+		t.Error("rescale interval must be 50 steps per the paper")
+	}
+}

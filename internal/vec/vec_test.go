@@ -1,0 +1,178 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasicOps(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(-4, 5, 0.5)
+
+	if got := a.Add(b); got != New(-3, 7, 3.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(5, -3, 2.5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != New(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != New(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != -4+10+1.5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Norm2(); got != 14 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := a.Norm(); !almostEq(got, math.Sqrt(14), 1e-15) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.MulAdd(3, b); got != New(-11, 17, 4.5) {
+		t.Errorf("MulAdd = %v", got)
+	}
+	if got := a.Hadamard(b); got != New(-4, 10, 1.5) {
+		t.Errorf("Hadamard = %v", got)
+	}
+}
+
+func TestCross(t *testing.T) {
+	x, y, z := New(1, 0, 0), New(0, 1, 0), New(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y cross z = %v, want x", got)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z cross x = %v, want y", got)
+	}
+}
+
+// clampComp maps arbitrary float64 inputs into a numerically safe range so
+// intermediate products cannot overflow.
+func clampComp(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestCrossAnticommutative(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := New(clampComp(ax), clampComp(ay), clampComp(az))
+		b := New(clampComp(bx), clampComp(by), clampComp(bz))
+		c1, c2 := a.Cross(b), b.Cross(a).Neg()
+		return almostEq(c1.X, c2.X, 1e-9*(1+math.Abs(c1.X))) &&
+			almostEq(c1.Y, c2.Y, 1e-9*(1+math.Abs(c1.Y))) &&
+			almostEq(c1.Z, c2.Z, 1e-9*(1+math.Abs(c1.Z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := New(clampComp(ax), clampComp(ay), clampComp(az))
+		b := New(clampComp(bx), clampComp(by), clampComp(bz))
+		c := a.Cross(b)
+		scale := a.Norm()*b.Norm() + 1
+		return almostEq(c.Dot(a)/scale/scale, 0, 1e-9) &&
+			almostEq(c.Dot(b)/scale/scale, 0, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist(t *testing.T) {
+	a, b := New(1, 1, 1), New(4, 5, 1)
+	if got := a.Dist(b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestWrapInsideBox(t *testing.T) {
+	l := New(10, 20, 5)
+	cases := []V{
+		New(0, 0, 0),
+		New(9.999, 19.999, 4.999),
+		New(-0.001, 20.001, 5),
+		New(105, -203, 7.5),
+		New(-1e9, 1e9, 0),
+	}
+	for _, c := range cases {
+		w := c.Wrap(l)
+		if w.X < 0 || w.X >= l.X || w.Y < 0 || w.Y >= l.Y || w.Z < 0 || w.Z >= l.Z {
+			t.Errorf("Wrap(%v) = %v outside [0,l)", c, w)
+		}
+	}
+}
+
+func TestWrapProperty(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		p := New(math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6))
+		l := New(7, 11, 13)
+		w := p.Wrap(l)
+		if w.X < 0 || w.X >= l.X || w.Y < 0 || w.Y >= l.Y || w.Z < 0 || w.Z >= l.Z {
+			return false
+		}
+		// Wrapping must shift each coordinate by an integer number of periods.
+		dx := (p.X - w.X) / l.X
+		return almostEq(dx, math.Round(dx), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	l := New(10, 10, 10)
+	d := New(9, -9, 4).MinImage(l)
+	want := New(-1, 1, 4)
+	if d.Dist(want) > 1e-12 {
+		t.Errorf("MinImage = %v, want %v", d, want)
+	}
+}
+
+func TestMinImageHalfBox(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		p := New(math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6))
+		l := New(9, 5, 21)
+		m := p.MinImage(l)
+		return math.Abs(m.X) <= l.X/2+1e-9 &&
+			math.Abs(m.Y) <= l.Y/2+1e-9 &&
+			math.Abs(m.Z) <= l.Z/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if New(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if New(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 2.5, -3).String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,107 @@
+package permcell
+
+// This file is the public facade over the internal packages: the types and
+// entry points a downstream user needs to run serial or parallel
+// permanent-cell MD simulations and evaluate the paper's bound, without
+// reaching into internal/.
+
+import (
+	"fmt"
+
+	"permcell/internal/core"
+	"permcell/internal/dlb"
+	"permcell/internal/experiments"
+	"permcell/internal/theory"
+	"permcell/internal/units"
+)
+
+// Sim describes one parallel MD simulation in the paper's coordinates.
+type Sim struct {
+	// M is the square-pillar cross-section size (columns per PE side),
+	// m >= 2.
+	M int
+	// P is the PE count; must be a perfect square >= 4. The cell grid has
+	// (M*sqrt(P))^3 cells of side r_c = 2.5 sigma.
+	P int
+	// Rho is the reduced density; N = Rho * volume.
+	Rho float64
+	// Steps is the number of velocity-Verlet time steps.
+	Steps int
+	// DLB enables permanent-cell dynamic load balancing (plain DDM
+	// otherwise).
+	DLB bool
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Dt overrides the time step (0 = 0.005 reduced units; the paper's
+	// literal value is units.PaperTimeStep = 1e-4).
+	Dt float64
+	// Wells > 0 adds that many harmonic attractor sites to drive
+	// condensation quickly (0 = pure supercooled-gas physics).
+	Wells int
+	// WellK is the attractor strength (used when Wells > 0).
+	WellK float64
+	// Hysteresis is the DLB trigger threshold (relative load gap).
+	Hysteresis float64
+}
+
+// StepStats re-exports the per-step record (Tt, Fmax/Fave/Fmin, moves,
+// concentration state).
+type StepStats = core.StepStats
+
+// Result re-exports the run outcome (per-step stats, final particle state,
+// message counts).
+type Result = core.Result
+
+// Run executes the simulation and returns its statistics and final state.
+func (s Sim) Run() (*Result, error) {
+	wellK := s.WellK
+	if s.Wells > 0 && wellK == 0 {
+		wellK = 1.5
+	}
+	spec := experiments.RunSpec{
+		M: s.M, P: s.P, Rho: s.Rho, Steps: s.Steps, DLB: s.DLB,
+		Seed: s.Seed, Dt: s.Dt, Wells: s.Wells, WellK: wellK,
+		Hysteresis: s.Hysteresis, StatsEvery: 1,
+	}
+	res, _, err := spec.Run()
+	return res, err
+}
+
+// Bound returns the paper's theoretical upper bound f(m, n) on the particle
+// concentration ratio C_0/C up to which permanent-cell DLB balances
+// uniformly (eq. 8; m >= 2, n >= 1).
+func Bound(m int, n float64) (float64, error) { return theory.F(m, n) }
+
+// MaxDomainColumns returns C' in columns, m^2 + 3(m-1)^2: the most columns
+// one PE can ever host.
+func MaxDomainColumns(m int) int { return theory.CPrimeColumns(m) }
+
+// PickStrategy selects which candidate column a PE hands over.
+type PickStrategy = dlb.Strategy
+
+// Column-pick strategies.
+const (
+	PickMostLoaded  = dlb.PickMostLoaded
+	PickLeastLoaded = dlb.PickLeastLoaded
+	PickLowestIndex = dlb.PickLowestIndex
+)
+
+// Paper constants (Section 3.2) in reduced LJ units.
+const (
+	PaperTref            = units.PaperTref
+	PaperDensity         = units.PaperDensity
+	PaperCutoff          = units.PaperCutoff
+	PaperTimeStep        = units.PaperTimeStep
+	PaperRescaleInterval = units.PaperRescaleInterval
+)
+
+// Validate reports configuration problems without running.
+func (s Sim) Validate() error {
+	spec := experiments.RunSpec{
+		M: s.M, P: s.P, Rho: s.Rho, Steps: s.Steps, Seed: s.Seed,
+	}
+	if _, _, _, err := spec.Build(); err != nil {
+		return fmt.Errorf("permcell: %w", err)
+	}
+	return nil
+}

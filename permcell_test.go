@@ -1,0 +1,64 @@
+package permcell_test
+
+import (
+	"math"
+	"testing"
+
+	"permcell"
+)
+
+func TestSimValidate(t *testing.T) {
+	if err := (permcell.Sim{M: 2, P: 4, Rho: 0.256, Steps: 1}).Validate(); err != nil {
+		t.Errorf("valid sim rejected: %v", err)
+	}
+	if err := (permcell.Sim{M: 2, P: 5, Rho: 0.256, Steps: 1}).Validate(); err == nil {
+		t.Error("non-square P accepted")
+	}
+	if err := (permcell.Sim{M: 1, P: 4, Rho: 0.256, Steps: 1}).Validate(); err == nil {
+		t.Error("m=1 accepted")
+	}
+}
+
+func TestSimRunFacade(t *testing.T) {
+	res, err := permcell.Sim{
+		M: 2, P: 4, Rho: 0.256, Steps: 50, DLB: true,
+		Seed: 1, Wells: 3, Hysteresis: 0.1,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 50 {
+		t.Fatalf("stats = %d", len(res.Stats))
+	}
+	if res.Final.Len() == 0 {
+		t.Fatal("no particles in final state")
+	}
+	if err := res.Final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundFacade(t *testing.T) {
+	f, err := permcell.Bound(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.3) > 1e-12 { // f(2,2) = 3/(7*2-4)
+		t.Errorf("Bound(2,2) = %v, want 0.3", f)
+	}
+	if _, err := permcell.Bound(1, 2); err == nil {
+		t.Error("m=1 accepted")
+	}
+}
+
+func TestMaxDomainColumnsFacade(t *testing.T) {
+	if permcell.MaxDomainColumns(3) != 21 {
+		t.Error("C'(3) != 21")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if permcell.PaperTref != 0.722 || permcell.PaperCutoff != 2.5 {
+		t.Error("paper constants wrong")
+	}
+}
