@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|all [-scale tiny|small|full] [-seed N]
+//	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|all [-scale tiny|small|full] [-seed N] [-csv]
 //
 // Each id prints the same rows/series the paper reports (see DESIGN.md's
 // per-experiment index). Scales: tiny (seconds, CI), small (minutes,
-// default), full (paper sizes, hours).
+// default), full (paper sizes, hours). With -csv, fig9 and table1 emit
+// machine-readable CSV instead of the rendered text — the format the
+// golden regression tests in internal/experiments pin.
 package main
 
 import (
@@ -21,6 +23,7 @@ func main() {
 	id := flag.String("id", "all", "experiment id: fig5a, fig5b, fig6, fig9, fig10, table1, all")
 	scale := flag.String("scale", "small", "preset scale: tiny, small, full")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of rendered text (fig9, table1)")
 	flag.Parse()
 
 	pr, ok := experiments.PresetByName(*scale)
@@ -55,6 +58,9 @@ func main() {
 			if err != nil {
 				return err
 			}
+			if *csv {
+				return r.WriteCSV(os.Stdout)
+			}
 			return r.Render(os.Stdout)
 		case "fig10":
 			for _, m := range pr.Ms {
@@ -73,6 +79,9 @@ func main() {
 			if err != nil {
 				return err
 			}
+			if *csv {
+				return r.WriteCSV(os.Stdout)
+			}
 			return r.Render(os.Stdout)
 		default:
 			return fmt.Errorf("unknown experiment id %q", name)
@@ -84,11 +93,15 @@ func main() {
 		ids = []string{"fig5a", "fig5b", "fig6", "fig9", "fig10", "table1"}
 	}
 	for _, name := range ids {
-		fmt.Printf("==== %s (scale %s) ====\n", name, pr.Name)
+		if !*csv {
+			fmt.Printf("==== %s (scale %s) ====\n", name, pr.Name)
+		}
 		if err := run(name); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		if !*csv {
+			fmt.Println()
+		}
 	}
 }

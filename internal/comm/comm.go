@@ -8,10 +8,17 @@
 // The substitution is documented in DESIGN.md: the DLB algorithm only needs
 // P sequential processors exchanging messages on a virtual 2-D torus, which
 // this package provides with identical semantics.
+//
+// For chaos testing, a World can be created with a deterministic
+// fault-injection plan (WithFaults: latency jitter, bounded reordering,
+// transient send failures, per-rank stalls — all replayable from one seed)
+// and run under a deadlock watchdog (RunWatched) that converts a hang into
+// an error carrying a per-rank state dump.
 package comm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,12 +38,41 @@ type World struct {
 	start time.Time
 	bar   *barrier
 
+	inboxCap int
+	fs       *faultState
+	track    *tracker
+
 	msgs  atomic.Int64
 	bytes atomic.Int64
 }
 
+// Option configures a World at construction time.
+type Option func(*World)
+
+// WithInboxCapacity overrides the per-rank inbox buffer. The default is
+// max(64*p, 256) slots, sized so that the engines' bounded per-step
+// protocols (at most a few messages per neighbor per phase) never block on
+// a send. Small capacities (down to 1) force backpressure — senders block
+// until the receiver drains — which chaos tests use to provoke the
+// interleavings and deadlocks the watchdog must catch.
+func WithInboxCapacity(n int) Option {
+	return func(w *World) {
+		if n >= 1 {
+			w.inboxCap = n
+		}
+	}
+}
+
+// WithFaults runs the world under the given deterministic fault-injection
+// plan (see FaultPlan). A zero-probability plan with no stalls behaves
+// identically to a world without one. Per-op progress tracking is armed so
+// Snapshot and the watchdog can report per-rank state.
+func WithFaults(plan FaultPlan) Option {
+	return func(w *World) { w.fs = newFaultState(w.size, plan) }
+}
+
 // NewWorld returns a world of p ranks.
-func NewWorld(p int) (*World, error) {
+func NewWorld(p int, opts ...Option) (*World, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("comm: world size must be >= 1, got %d", p)
 	}
@@ -46,12 +82,24 @@ func NewWorld(p int) (*World, error) {
 		start: time.Now(),
 		bar:   newBarrier(p),
 	}
-	capacity := 64 * p
-	if capacity < 256 {
-		capacity = 256
+	for _, opt := range opts {
+		opt(w)
+	}
+	capacity := w.inboxCap
+	if capacity == 0 {
+		capacity = 64 * p
+		if capacity < 256 {
+			capacity = 256
+		}
 	}
 	for i := range w.inbox {
 		w.inbox[i] = make(chan message, capacity)
+	}
+	if w.fs != nil && w.track == nil {
+		w.track = newTracker(p)
+		for i := range w.track.ranks {
+			w.track.ranks[i].t = w.track
+		}
 	}
 	return w, nil
 }
@@ -73,7 +121,12 @@ func (w *World) Run(fn func(c *Comm)) {
 	for r := 0; r < w.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
-			fn(w.Comm(rank))
+			c := w.Comm(rank)
+			fn(c)
+			c.flushHeld() // a finished rank may not strand held-back messages
+			if c.tr != nil {
+				c.tr.setOp("done", "")
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -85,7 +138,19 @@ func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
 	}
-	return &Comm{w: w, rank: rank}
+	c := &Comm{w: w, rank: rank}
+	if w.track != nil {
+		c.tr = &w.track.ranks[rank]
+	}
+	if w.fs != nil {
+		for _, st := range w.fs.plan.Stalls {
+			if st.Rank == rank {
+				c.stalls = append(c.stalls, st)
+			}
+		}
+		sort.Slice(c.stalls, func(a, b int) bool { return c.stalls[a].AfterOps < c.stalls[b].AfterOps })
+	}
+	return c
 }
 
 // Comm is one rank's endpoint. Not safe for concurrent use by multiple
@@ -95,6 +160,11 @@ type Comm struct {
 	rank    int
 	pending []message
 	collSeq int
+
+	ops      int64 // comm-op counter (send/recv/barrier entries)
+	stalls   []Stall
+	stallIdx int
+	tr       *rankTrack
 }
 
 // Rank returns this endpoint's rank.
@@ -110,7 +180,9 @@ func (c *Comm) Wtime() float64 { return time.Since(c.w.start).Seconds() }
 // Send delivers data to rank dst with the given tag. Tags must be
 // non-negative; negative tags are reserved for collectives. Send blocks only
 // if the destination inbox is full, which bounded per-step protocols never
-// trigger.
+// trigger at the default capacity (see WithInboxCapacity). Under a fault
+// plan, injected transient failures are retried internally without bound;
+// use SendReliable to surface them as errors instead.
 func (c *Comm) Send(dst, tag int, data any) { c.SendSized(dst, tag, data, 0) }
 
 // SendSized is Send with an explicit payload-size hint in bytes for the
@@ -122,16 +194,28 @@ func (c *Comm) SendSized(dst, tag int, data any, size int64) {
 	c.send(dst, tag, data, size)
 }
 
+// send is the uniform internal send path (used by both user tags and the
+// reserved collective tags). Under a fault plan it retries injected
+// transient failures without bound, preserving Send's delivery guarantee.
 func (c *Comm) send(dst, tag int, data any, size int64) {
-	c.w.msgs.Add(1)
-	c.w.bytes.Add(size)
-	c.w.inbox[dst] <- message{src: c.rank, tag: tag, data: data, size: size}
+	if err := c.sendAttempts(dst, tag, data, size, -1); err != nil {
+		panic(fmt.Sprintf("comm: unbounded send failed: %v", err)) // unreachable
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. Messages from other (src, tag) pairs arriving in the
 // meantime are buffered, preserving per-pair FIFO order.
 func (c *Comm) Recv(src, tag int) any {
+	c.opTick()
+	c.flushHeld() // never block on a receive while holding back messages
+	if c.tr != nil {
+		c.tr.setBlocked("recv", fmt.Sprintf("src=%d tag=%d", src, tag))
+		defer func() {
+			c.tr.clearBlocked()
+			c.tr.setPending(c.pending)
+		}()
+	}
 	for i, m := range c.pending {
 		if m.src == src && m.tag == tag {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
@@ -144,6 +228,9 @@ func (c *Comm) Recv(src, tag int) any {
 			return m.data
 		}
 		c.pending = append(c.pending, m)
+		if c.tr != nil {
+			c.tr.setPending(c.pending) // keep the watchdog dump current while blocked
+		}
 	}
 }
 
@@ -155,7 +242,18 @@ func (c *Comm) SendRecv(dst, sendTag int, sendData any, src, recvTag int) any {
 }
 
 // Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.w.bar.wait() }
+func (c *Comm) Barrier() {
+	c.opTick()
+	c.flushHeld()
+	if c.tr != nil {
+		c.tr.setBlocked("barrier", "")
+		defer func() {
+			c.tr.clearBlocked()
+			c.tr.bumpBarrier()
+		}()
+	}
+	c.w.bar.wait()
+}
 
 // nextCollTag returns a fresh reserved tag. All ranks execute collectives in
 // the same order, so sequence numbers agree across ranks.

@@ -1,0 +1,348 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"permcell/internal/rng"
+	"permcell/internal/trace"
+)
+
+// FaultPlan configures deterministic fault injection for a World. Every
+// random choice is drawn from a per-link xoshiro stream derived from Seed,
+// so a chaos run is replayable: the same plan on the same program yields
+// the identical sequence of injected faults and the identical per-link
+// delivery order (provided sends never block on a full inbox, which holds
+// at the default inbox capacity).
+//
+// The layer never violates the substrate's matching contract: messages of
+// the same (source, tag) pair are always delivered in send order. Bounded
+// reordering only swaps messages of different tags on the same link, which
+// is exactly the freedom a tag-matching MPI implementation has.
+type FaultPlan struct {
+	// Seed drives every per-link random stream.
+	Seed uint64
+
+	// DelayProb is the per-message probability of latency jitter: the
+	// sender sleeps a uniform duration in (0, MaxDelay] before delivery.
+	DelayProb float64
+	MaxDelay  time.Duration
+
+	// ReorderProb is the per-message probability that a message is held
+	// back and overtaken by 1..ReorderDepth later messages on the same
+	// link (different tags only; same-tag FIFO is preserved). Held
+	// messages are flushed whenever the sender would block, so holding
+	// never introduces a deadlock on its own.
+	ReorderProb  float64
+	ReorderDepth int // default 2 when ReorderProb > 0
+
+	// FailProb is the per-attempt probability that a delivery attempt
+	// fails transiently. Send retries internally (the message is never
+	// lost); SendReliable surfaces the retry loop: it backs off and
+	// returns ErrSendFailed after MaxAttempts failed attempts.
+	FailProb    float64
+	MaxAttempts int           // default 8
+	Backoff     time.Duration // base backoff, doubled per retry; default 200us
+
+	// Stalls schedules rank-local pauses: when rank Rank's comm-op
+	// counter reaches AfterOps, the rank sleeps for Duration before the
+	// op proceeds. Stalls perturb wall-clock load and interleaving
+	// without touching message contents.
+	Stalls []Stall
+
+	// Record keeps per-event records (capped at MaxEvents, default 4096)
+	// retrievable via World.FaultEvents. Counters in FaultStats are
+	// always maintained.
+	Record    bool
+	MaxEvents int
+}
+
+// Stall is one scheduled per-rank pause.
+type Stall struct {
+	Rank     int
+	AfterOps int64
+	Duration time.Duration
+}
+
+// ErrSendFailed is returned by SendReliable when every delivery attempt
+// failed transiently.
+var ErrSendFailed = errors.New("comm: send failed after retries")
+
+// FaultStats counts injected faults over a world's lifetime.
+type FaultStats struct {
+	Delays   int64 // messages delayed by latency jitter
+	Reorders int64 // messages held back for reordering
+	Failures int64 // transient delivery failures injected
+	Retries  int64 // delivery attempts repeated after a failure
+	Stalls   int64 // scheduled rank stalls fired
+}
+
+// heldMsg is a message held back for reordering: it is delivered after
+// overtake more messages pass it on the same link.
+type heldMsg struct {
+	m        message
+	overtake int
+}
+
+// link is the sender-side fault state of one directed (src, dst) pair. It
+// is owned by the source rank's goroutine; no locking.
+type link struct {
+	rng  *rng.Source
+	held []heldMsg
+}
+
+// faultState is the per-world fault-injection state.
+type faultState struct {
+	plan  FaultPlan
+	links [][]*link // [src][dst]
+
+	delays   atomic.Int64
+	reorders atomic.Int64
+	failures atomic.Int64
+	retries  atomic.Int64
+	stalls   atomic.Int64
+
+	mu     sync.Mutex
+	events []trace.FaultEvent
+}
+
+func newFaultState(p int, plan FaultPlan) *faultState {
+	if plan.ReorderProb > 0 && plan.ReorderDepth < 1 {
+		plan.ReorderDepth = 2
+	}
+	if plan.MaxAttempts < 1 {
+		plan.MaxAttempts = 8
+	}
+	if plan.Backoff <= 0 {
+		plan.Backoff = 200 * time.Microsecond
+	}
+	if plan.MaxEvents <= 0 {
+		plan.MaxEvents = 4096
+	}
+	fs := &faultState{plan: plan, links: make([][]*link, p)}
+	for src := range fs.links {
+		fs.links[src] = make([]*link, p)
+		for dst := range fs.links[src] {
+			// Each directed link gets its own stream, derived from the
+			// plan seed by splitmix-style mixing of the link index, so
+			// link streams are independent and replayable in isolation.
+			fs.links[src][dst] = &link{
+				rng: rng.New(plan.Seed ^ (0x9e3779b97f4a7c15 * uint64(src*p+dst+1))),
+			}
+		}
+	}
+	return fs
+}
+
+func (fs *faultState) record(ev trace.FaultEvent) {
+	if !fs.plan.Record {
+		return
+	}
+	fs.mu.Lock()
+	if len(fs.events) < fs.plan.MaxEvents {
+		fs.events = append(fs.events, ev)
+	}
+	fs.mu.Unlock()
+}
+
+// Stats returns the cumulative injected-fault counters (zero-valued when
+// the world has no fault plan).
+func (w *World) FaultStats() FaultStats {
+	if w.fs == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		Delays:   w.fs.delays.Load(),
+		Reorders: w.fs.reorders.Load(),
+		Failures: w.fs.failures.Load(),
+		Retries:  w.fs.retries.Load(),
+		Stalls:   w.fs.stalls.Load(),
+	}
+}
+
+// FaultEvents returns a copy of the recorded fault events (empty unless the
+// plan set Record).
+func (w *World) FaultEvents() []trace.FaultEvent {
+	if w.fs == nil {
+		return nil
+	}
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	return append([]trace.FaultEvent(nil), w.fs.events...)
+}
+
+// opTick advances this rank's comm-op counter and fires any scheduled
+// stall that became due.
+func (c *Comm) opTick() {
+	c.ops++
+	if c.tr != nil {
+		c.tr.bumpOps()
+	}
+	fs := c.w.fs
+	if fs == nil {
+		return
+	}
+	for c.stallIdx < len(c.stalls) && c.ops >= c.stalls[c.stallIdx].AfterOps {
+		st := c.stalls[c.stallIdx]
+		c.stallIdx++
+		fs.stalls.Add(1)
+		fs.record(trace.FaultEvent{Rank: c.rank, Peer: -1, Kind: "stall", Seq: c.ops, Dur: st.Duration.Seconds()})
+		time.Sleep(st.Duration)
+	}
+}
+
+// trySend makes one delivery attempt on the faulty path: it may inject a
+// transient failure (returning ErrSendFailed without delivering), sleep for
+// latency jitter, hold the message back for reordering, and it flushes any
+// held messages that have been overtaken enough. Counting of msgs/bytes is
+// done by the caller exactly once per successful delivery.
+func (c *Comm) trySend(dst, tag int, data any, size int64) error {
+	fs := c.w.fs
+	lk := fs.links[c.rank][dst]
+	if fs.plan.FailProb > 0 && lk.rng.Float64() < fs.plan.FailProb {
+		fs.failures.Add(1)
+		fs.record(trace.FaultEvent{Rank: c.rank, Peer: dst, Tag: tag, Kind: "fail", Seq: c.ops})
+		return ErrSendFailed
+	}
+	if fs.plan.DelayProb > 0 && lk.rng.Float64() < fs.plan.DelayProb {
+		d := time.Duration(lk.rng.Float64() * float64(fs.plan.MaxDelay))
+		fs.delays.Add(1)
+		fs.record(trace.FaultEvent{Rank: c.rank, Peer: dst, Tag: tag, Kind: "delay", Seq: c.ops, Dur: d.Seconds()})
+		time.Sleep(d)
+	}
+	m := message{src: c.rank, tag: tag, data: data, size: size}
+
+	// Same-tag FIFO: anything held with this tag must leave first.
+	if len(lk.held) > 0 {
+		kept := lk.held[:0]
+		for _, h := range lk.held {
+			if h.m.tag == tag {
+				c.enqueue(dst, h.m)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		lk.held = kept
+	}
+
+	if fs.plan.ReorderProb > 0 && len(lk.held) < fs.plan.ReorderDepth &&
+		lk.rng.Float64() < fs.plan.ReorderProb {
+		fs.reorders.Add(1)
+		fs.record(trace.FaultEvent{Rank: c.rank, Peer: dst, Tag: tag, Kind: "reorder", Seq: c.ops})
+		lk.held = append(lk.held, heldMsg{m: m, overtake: 1 + lk.rng.Intn(fs.plan.ReorderDepth)})
+		return nil
+	}
+
+	c.enqueue(dst, m)
+
+	// The new message overtook everything held on this link.
+	if len(lk.held) > 0 {
+		kept := lk.held[:0]
+		for _, h := range lk.held {
+			h.overtake--
+			if h.overtake <= 0 {
+				c.enqueue(dst, h.m)
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		lk.held = kept
+	}
+	return nil
+}
+
+// enqueue places m into dst's inbox. If the inbox is full it first flushes
+// every held message on every link of this rank, so that a sender never
+// blocks while holding back messages a peer may be waiting for.
+func (c *Comm) enqueue(dst int, m message) {
+	c.w.msgs.Add(1)
+	c.w.bytes.Add(m.size)
+	select {
+	case c.w.inbox[dst] <- m:
+		return
+	default:
+	}
+	c.flushHeld()
+	if c.tr != nil {
+		c.tr.setBlocked("send", fmt.Sprintf("dst=%d tag=%d (inbox full)", dst, m.tag))
+		defer c.tr.clearBlocked()
+	}
+	c.w.inbox[dst] <- m
+}
+
+// flushHeld delivers every message this rank is holding back, in link then
+// hold order. Called before any operation that can block indefinitely
+// (Recv, Barrier, a full-inbox send) and when the rank's function returns.
+func (c *Comm) flushHeld() {
+	fs := c.w.fs
+	if fs == nil {
+		return
+	}
+	for dst, lk := range fs.links[c.rank] {
+		if len(lk.held) == 0 {
+			continue
+		}
+		held := lk.held
+		lk.held = nil
+		for _, h := range held {
+			// Bypass the full-inbox flush (we are the flush): plain send.
+			c.w.msgs.Add(1)
+			c.w.bytes.Add(h.m.size)
+			c.w.inbox[dst] <- h.m
+		}
+	}
+}
+
+// SendReliable is Send over an unreliable link: under a fault plan each
+// delivery attempt may fail transiently, in which case it backs off
+// (doubling from FaultPlan.Backoff) and retries up to MaxAttempts times
+// before giving up with ErrSendFailed. Without a fault plan it is exactly
+// Send and always returns nil.
+func (c *Comm) SendReliable(dst, tag int, data any) error {
+	return c.SendReliableSized(dst, tag, data, 0)
+}
+
+// SendReliableSized is SendReliable with a payload-size hint.
+func (c *Comm) SendReliableSized(dst, tag int, data any, size int64) error {
+	if tag < 0 {
+		panic("comm: negative tags are reserved")
+	}
+	return c.sendAttempts(dst, tag, data, size, c.maxAttempts())
+}
+
+func (c *Comm) maxAttempts() int {
+	if c.w.fs == nil {
+		return 1
+	}
+	return c.w.fs.plan.MaxAttempts
+}
+
+// sendAttempts drives the retry loop shared by Send (attempts < 0,
+// unbounded: the blocking-send contract) and SendReliable (bounded).
+func (c *Comm) sendAttempts(dst, tag int, data any, size int64, attempts int) error {
+	c.opTick()
+	if c.tr != nil {
+		c.tr.setOp("send", fmt.Sprintf("dst=%d tag=%d", dst, tag))
+	}
+	if c.w.fs == nil {
+		c.enqueue(dst, message{src: c.rank, tag: tag, data: data, size: size})
+		return nil
+	}
+	backoff := c.w.fs.plan.Backoff
+	for i := 0; attempts < 0 || i < attempts; i++ {
+		if i > 0 {
+			c.w.fs.retries.Add(1)
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		if err := c.trySend(dst, tag, data, size); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w (dst=%d tag=%d attempts=%d)", ErrSendFailed, dst, tag, attempts)
+}

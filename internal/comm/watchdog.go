@@ -1,0 +1,201 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tracker holds the per-rank progress state the watchdog inspects. It is
+// only allocated when a watchdog or fault plan is in use, so the default
+// fast path carries no instrumentation.
+type tracker struct {
+	ops   atomic.Int64 // global comm-op counter (progress signal)
+	ranks []rankTrack
+}
+
+func newTracker(p int) *tracker {
+	return &tracker{ranks: make([]rankTrack, p)}
+}
+
+// rankTrack is one rank's last-known communication state.
+type rankTrack struct {
+	t *tracker
+
+	mu         sync.Mutex
+	lastOp     string // "send", "recv", "barrier", "done"
+	detail     string // e.g. "src=3 tag=5"
+	ops        int64
+	barrierGen int
+	pending    []string // buffered (src, tag) pairs awaiting a matching Recv
+	blocked    bool
+	since      time.Time
+}
+
+func (r *rankTrack) bumpOps() {
+	r.t.ops.Add(1)
+	r.mu.Lock()
+	r.ops++
+	r.mu.Unlock()
+}
+
+func (r *rankTrack) setOp(op, detail string) {
+	r.mu.Lock()
+	r.lastOp, r.detail = op, detail
+	r.blocked = false
+	r.mu.Unlock()
+}
+
+func (r *rankTrack) setBlocked(op, detail string) {
+	r.mu.Lock()
+	r.lastOp, r.detail = op, detail
+	r.blocked = true
+	r.since = time.Now()
+	r.mu.Unlock()
+}
+
+func (r *rankTrack) clearBlocked() {
+	r.mu.Lock()
+	r.blocked = false
+	r.mu.Unlock()
+}
+
+func (r *rankTrack) bumpBarrier() {
+	r.mu.Lock()
+	r.barrierGen++
+	r.mu.Unlock()
+}
+
+func (r *rankTrack) setPending(pending []message) {
+	tags := make([]string, len(pending))
+	for i, m := range pending {
+		tags[i] = fmt.Sprintf("src=%d tag=%d", m.src, m.tag)
+	}
+	r.mu.Lock()
+	r.pending = tags
+	r.mu.Unlock()
+}
+
+// RankState is a snapshot of one rank's communication state, as dumped by
+// the deadlock watchdog.
+type RankState struct {
+	Rank       int
+	LastOp     string // last comm operation entered ("done" after fn returned)
+	Detail     string
+	Ops        int64         // rank-local comm-op count
+	BarrierGen int           // barriers entered
+	Pending    []string      // buffered messages awaiting a matching Recv
+	Blocked    bool          // currently inside a blocking wait
+	For        time.Duration // how long the current block has lasted
+}
+
+func (s RankState) String() string {
+	state := "running"
+	if s.Blocked {
+		state = fmt.Sprintf("BLOCKED %v in", s.For.Round(time.Millisecond))
+	}
+	pend := ""
+	if len(s.Pending) > 0 {
+		pend = fmt.Sprintf(", pending [%s]", strings.Join(s.Pending, "; "))
+	}
+	return fmt.Sprintf("rank %d: %s %s %s (ops=%d, barrier gen %d%s)",
+		s.Rank, state, s.LastOp, s.Detail, s.Ops, s.BarrierGen, pend)
+}
+
+// Snapshot returns the current per-rank state. It is empty unless the
+// world was created with a watchdog or fault plan (or run via RunWatched),
+// which is when per-op tracking is armed.
+func (w *World) Snapshot() []RankState {
+	if w.track == nil {
+		return nil
+	}
+	out := make([]RankState, len(w.track.ranks))
+	for i := range w.track.ranks {
+		r := &w.track.ranks[i]
+		r.mu.Lock()
+		out[i] = RankState{
+			Rank:       i,
+			LastOp:     r.lastOp,
+			Detail:     r.detail,
+			Ops:        r.ops,
+			BarrierGen: r.barrierGen,
+			Pending:    append([]string(nil), r.pending...),
+			Blocked:    r.blocked,
+		}
+		if r.blocked {
+			out[i].For = time.Since(r.since)
+		}
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// DeadlockError reports that no rank made progress for the watchdog
+// timeout. It carries the per-rank state dump that replaces the hung run.
+type DeadlockError struct {
+	Timeout time.Duration
+	Ranks   []RankState
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comm: deadlock suspected: no progress for %v; per-rank state:", e.Timeout)
+	for _, r := range e.Ranks {
+		b.WriteString("\n  ")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// RunWatched is Run under a deadlock watchdog: if no rank completes a
+// communication operation for timeout, it stops waiting and returns a
+// *DeadlockError with a per-rank state dump (last op, pending tags,
+// barrier generation) instead of hanging forever.
+//
+// The timeout must comfortably exceed the longest injected stall or delay
+// of the world's fault plan. On a deadlock the rank goroutines are left
+// blocked (there is no way to preempt them); callers are expected to fail
+// the test or exit the process, exactly as MPI_Abort would.
+func (w *World) RunWatched(timeout time.Duration, fn func(c *Comm)) error {
+	if timeout <= 0 {
+		w.Run(fn)
+		return nil
+	}
+	if w.track == nil {
+		w.track = newTracker(w.size)
+		for i := range w.track.ranks {
+			w.track.ranks[i].t = w.track
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		w.Run(fn)
+		close(done)
+	}()
+
+	poll := timeout / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	last := w.track.ops.Load()
+	lastChange := time.Now()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-ticker.C:
+			cur := w.track.ops.Load()
+			if cur != last {
+				last, lastChange = cur, time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= timeout {
+				return &DeadlockError{Timeout: timeout, Ranks: w.Snapshot()}
+			}
+		}
+	}
+}

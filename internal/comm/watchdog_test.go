@@ -1,0 +1,127 @@
+package comm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchdogConvertsDeadlockToError is the headline watchdog property: a
+// protocol bug that would hang go test forever instead returns an error
+// carrying a per-rank state dump.
+func TestWatchdogConvertsDeadlockToError(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.RunWatched(150*time.Millisecond, func(c *Comm) {
+		// Classic cross recv with no sends: both ranks wait forever.
+		c.Recv(1-c.Rank(), 42)
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if len(de.Ranks) != 2 {
+		t.Fatalf("dump has %d ranks", len(de.Ranks))
+	}
+	for _, r := range de.Ranks {
+		if !r.Blocked || r.LastOp != "recv" {
+			t.Errorf("rank %d state = %+v, want blocked in recv", r.Rank, r)
+		}
+	}
+	msg := err.Error()
+	for _, want := range []string{"rank 0", "rank 1", "recv", "tag=42", "no progress"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("dump missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestWatchdogBackpressureDeadlock forces the deadlock with the inbox
+// capacity option: at capacity 1, two ranks that each send a burst before
+// receiving wedge on full inboxes; the dump must show them blocked in send.
+func TestWatchdogBackpressureDeadlock(t *testing.T) {
+	w, _ := NewWorld(2, WithInboxCapacity(1))
+	err := w.RunWatched(150*time.Millisecond, func(c *Comm) {
+		other := 1 - c.Rank()
+		for i := 0; i < 10; i++ {
+			c.Send(other, 1, i)
+		}
+		for i := 0; i < 10; i++ {
+			c.Recv(other, 1)
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if !strings.Contains(err.Error(), "inbox full") {
+		t.Errorf("dump does not identify backpressure:\n%s", err)
+	}
+}
+
+// TestWatchdogPassesCleanRun asserts no false positives: a normal exchange
+// under the watchdog completes and returns nil.
+func TestWatchdogPassesCleanRun(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := w.RunWatched(2*time.Second, func(c *Comm) {
+		for round := 0; round < 20; round++ {
+			c.Send((c.Rank()+1)%4, 1, round)
+			if got := c.Recv((c.Rank()+3)%4, 1).(int); got != round {
+				t.Errorf("round %d: got %d", round, got)
+			}
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	for _, r := range w.Snapshot() {
+		if r.LastOp != "done" {
+			t.Errorf("rank %d final state %q, want done", r.Rank, r.LastOp)
+		}
+		if r.BarrierGen != 20 {
+			t.Errorf("rank %d barrier gen = %d, want 20", r.Rank, r.BarrierGen)
+		}
+	}
+}
+
+// TestWatchdogTolleratesStalls asserts a stall shorter than the timeout
+// does not trip the watchdog even though no global progress happens while
+// every rank sleeps.
+func TestWatchdogToleratesStalls(t *testing.T) {
+	w, _ := NewWorld(2, WithFaults(FaultPlan{
+		Seed: 1,
+		Stalls: []Stall{
+			{Rank: 0, AfterOps: 1, Duration: 50 * time.Millisecond},
+			{Rank: 1, AfterOps: 1, Duration: 50 * time.Millisecond},
+		},
+	}))
+	err := w.RunWatched(500*time.Millisecond, func(c *Comm) {
+		c.Send(1-c.Rank(), 1, "hi")
+		c.Recv(1-c.Rank(), 1)
+	})
+	if err != nil {
+		t.Fatalf("stalled-but-live run flagged: %v", err)
+	}
+}
+
+// TestWatchdogDumpShowsPending asserts the dump includes buffered messages
+// that arrived but never matched — the clue for tag-mismatch bugs.
+func TestWatchdogDumpShowsPending(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.RunWatched(150*time.Millisecond, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, "wrong tag")
+			c.Recv(1, 1)
+		} else {
+			c.Recv(0, 9) // waits forever; tag 7 sits in pending
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if !strings.Contains(err.Error(), "src=0 tag=7") {
+		t.Errorf("dump does not show pending unmatched message:\n%s", err)
+	}
+}

@@ -28,6 +28,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"permcell/internal/comm"
 	"permcell/internal/conc"
@@ -35,6 +36,7 @@ import (
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
+	"permcell/internal/trace"
 	"permcell/internal/workload"
 )
 
@@ -86,6 +88,22 @@ type Config struct {
 	// StatsEvery controls how often concentration stats are computed
 	// (they cost one small allgather; default 1 = every step).
 	StatsEvery int
+
+	// Faults, when non-nil, runs the whole exchange under the comm
+	// fault-injection plan (chaos testing); payload transfers then go
+	// through SendReliable with retry/backoff.
+	Faults *comm.FaultPlan
+	// Watchdog, when positive, runs under the comm deadlock watchdog: a
+	// hang returns an error with a per-rank state dump after this much
+	// progress-less time instead of blocking forever.
+	Watchdog time.Duration
+	// InboxCap overrides the comm inbox capacity (0 = comm default).
+	InboxCap int
+	// Verify enables per-step protocol invariant checks: per-PE ledger
+	// invariants (permanent columns at home, hosts within the up-left
+	// set, C' bound) plus the global checks — every column hosted exactly
+	// once and the particle count conserved. Chaos runs set this.
+	Verify bool
 }
 
 // StepStats is the per-step record the paper's figures are built from.
@@ -127,6 +145,12 @@ type Result struct {
 	Final *particle.Set
 	// CommMsgs and CommBytes are whole-run message statistics.
 	CommMsgs, CommBytes int64
+	// Faults counts the injected communication faults (zero without a
+	// fault plan).
+	Faults comm.FaultStats
+	// FaultEvents is the recorded fault log (only when the plan sets
+	// Record).
+	FaultEvents []trace.FaultEvent
 	// M is the derived square-pillar cross-section size.
 	M int
 }
@@ -186,7 +210,14 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	world, err := comm.NewWorld(cfg.P)
+	var opts []comm.Option
+	if cfg.InboxCap > 0 {
+		opts = append(opts, comm.WithInboxCapacity(cfg.InboxCap))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, comm.WithFaults(*cfg.Faults))
+	}
+	world, err := comm.NewWorld(cfg.P, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -194,9 +225,18 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 	// Internal protocol violations (which indicate engine bugs, not user
 	// errors) panic inside the PE goroutines, mirroring MPI_Abort.
 	res := &Result{M: layout.M}
-	world.Run(func(c *comm.Comm) {
+	peMain := func(c *comm.Comm) {
 		newPE(c, &cfg, layout, sys).run(steps, res)
-	})
+	}
+	if cfg.Watchdog > 0 {
+		if err := world.RunWatched(cfg.Watchdog, peMain); err != nil {
+			return nil, err
+		}
+	} else {
+		world.Run(peMain)
+	}
 	res.CommMsgs, res.CommBytes = world.Stats()
+	res.Faults = world.FaultStats()
+	res.FaultEvents = world.FaultEvents()
 	return res, nil
 }

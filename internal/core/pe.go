@@ -64,6 +64,16 @@ type pe struct {
 	lastWall float64 // wall seconds of last force computation
 	potE     float64 // local share of potential energy
 	moved    int     // columns moved by my decision this step
+	initN    int64   // global particle count at step 0 (Verify only)
+}
+
+// send delivers a protocol message over the possibly-faulty substrate.
+// Retries are handled inside SendReliable; exhausting them is a fatal
+// transport failure, the goroutine analogue of an MPI error handler abort.
+func (p *pe) send(dst, tag int, data any, size int64) {
+	if err := p.c.SendReliableSized(dst, tag, data, size); err != nil {
+		panic(fmt.Sprintf("core: rank %d: %v", p.c.Rank(), err))
+	}
 }
 
 func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *pe {
@@ -96,6 +106,9 @@ func (p *pe) run(steps int, res *Result) {
 	p.rebuild()
 	ghost := p.haloExchange()
 	p.computeForces(ghost)
+	if p.cfg.Verify {
+		p.initN = p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
+	}
 
 	dlbEvery := p.cfg.DLBEvery
 	if dlbEvery < 1 {
@@ -118,9 +131,45 @@ func (p *pe) run(steps int, res *Result) {
 			p.rescale()
 		}
 		p.collectStats(step, time.Since(t0).Seconds(), res)
+		if p.cfg.Verify {
+			p.verifyStep(step)
+		}
 	}
 
 	p.gatherFinal(res)
+}
+
+// verifyStep asserts the DESIGN.md section 6 protocol invariants at the end
+// of a step: at most one column moved by this PE, the per-ledger
+// permanent-cell invariants, the global single-host partition over all
+// columns, and particle-count conservation. Violations panic, which chaos
+// runs surface as failures instead of silently corrupt physics.
+func (p *pe) verifyStep(step int) {
+	if p.moved > 1 {
+		panic(fmt.Sprintf("core: rank %d step %d moved %d columns (max 1)", p.c.Rank(), step, p.moved))
+	}
+	if err := p.lg.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("core: rank %d step %d: %v", p.c.Rank(), step, err))
+	}
+	hosts := p.c.Allgather(p.lg.HostedColumns())
+	n := p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
+	if n != p.initN {
+		panic(fmt.Sprintf("core: step %d: particle count %d, want %d (conservation broken)", step, n, p.initN))
+	}
+	if p.c.Rank() != 0 {
+		return
+	}
+	count := make(map[int]int, p.layout.NumColumns())
+	for rank, a := range hosts {
+		for _, col := range a.([]int) {
+			if count[col]++; count[col] > 1 {
+				panic(fmt.Sprintf("core: step %d: column %d hosted by multiple PEs (second: rank %d)", step, col, rank))
+			}
+		}
+	}
+	if len(count) != p.layout.NumColumns() {
+		panic(fmt.Sprintf("core: step %d: only %d of %d columns hosted", step, len(count), p.layout.NumColumns()))
+	}
 }
 
 // load returns the last force-computation load under the configured metric.
@@ -135,7 +184,7 @@ func (p *pe) load() float64 {
 func (p *pe) dlbStep() {
 	// Step 1: exchange last-step loads with the 8 neighbors.
 	for _, nb := range p.nbs {
-		p.c.Send(nb, tagLoad, p.load())
+		p.send(nb, tagLoad, p.load(), 0)
 	}
 	nbLoad := make(map[int]float64, len(p.nbs))
 	for _, nb := range p.nbs {
@@ -159,7 +208,7 @@ func (p *pe) dlbStep() {
 
 	// Step 4: broadcast the decision; apply everyone's.
 	for _, nb := range p.nbs {
-		p.c.Send(nb, tagDecision, d)
+		p.send(nb, tagDecision, d, 0)
 	}
 	if err := p.lg.Apply(p.c.Rank(), d); err != nil {
 		panic(fmt.Sprintf("core: rank %d self-apply: %v", p.c.Rank(), err))
@@ -178,7 +227,7 @@ func (p *pe) dlbStep() {
 	if d.Col >= 0 {
 		p.moved = 1
 		out := p.extractColumn(d.Col)
-		p.c.SendSized(d.Dest, tagTransfer, out, int64(len(out))*48)
+		p.send(d.Dest, tagTransfer, out, int64(len(out))*48)
 	}
 	for _, nb := range p.nbs {
 		nd := nbDecision[nb]
@@ -234,7 +283,7 @@ func (p *pe) migrate() {
 	for _, nb := range p.nbs {
 		msg := out[nb]
 		sort.Slice(msg, func(a, b int) bool { return msg[a].ID < msg[b].ID })
-		p.c.SendSized(nb, tagMigrate, msg, int64(len(msg))*48)
+		p.send(nb, tagMigrate, msg, int64(len(msg))*48)
 	}
 	for _, nb := range p.nbs {
 		in := p.c.Recv(nb, tagMigrate).([]particle.One)
@@ -297,7 +346,7 @@ func (p *pe) haloExchange() map[int][]vec.V {
 	for _, nb := range p.nbs {
 		cells := need[nb]
 		sort.Ints(cells)
-		p.c.Send(nb, tagNeed, cells)
+		p.send(nb, tagNeed, cells, 0)
 	}
 	// Answer the neighbors' requests.
 	for _, nb := range p.nbs {
@@ -316,7 +365,7 @@ func (p *pe) haloExchange() map[int][]vec.V {
 			bytes += int64(len(idx)) * 24
 			resp = append(resp, blk)
 		}
-		p.c.SendSized(nb, tagHalo, resp, bytes)
+		p.send(nb, tagHalo, resp, bytes)
 	}
 	ghost := make(map[int][]vec.V)
 	for _, nb := range p.nbs {

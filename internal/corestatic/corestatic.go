@@ -9,6 +9,7 @@ package corestatic
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"permcell/internal/comm"
 	"permcell/internal/decomp"
@@ -32,6 +33,12 @@ type Config struct {
 	// Tref and RescaleEvery configure the thermostat (0 disables).
 	Tref         float64
 	RescaleEvery int
+
+	// Faults, Watchdog and InboxCap configure the comm chaos layer,
+	// exactly as in internal/core.Config.
+	Faults   *comm.FaultPlan
+	Watchdog time.Duration
+	InboxCap int
 }
 
 // StepStats is the per-step record.
@@ -49,6 +56,8 @@ type Result struct {
 	Stats               []StepStats
 	Final               *particle.Set
 	CommMsgs, CommBytes int64
+	// Faults counts injected communication faults (zero without a plan).
+	Faults comm.FaultStats
 }
 
 // message tags (fixed; per-pair FIFO keeps steps aligned, as in core).
@@ -86,15 +95,30 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	world, err := comm.NewWorld(cfg.P)
+	var opts []comm.Option
+	if cfg.InboxCap > 0 {
+		opts = append(opts, comm.WithInboxCapacity(cfg.InboxCap))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, comm.WithFaults(*cfg.Faults))
+	}
+	world, err := comm.NewWorld(cfg.P, opts...)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
-	world.Run(func(c *comm.Comm) {
+	speMain := func(c *comm.Comm) {
 		newSPE(c, &cfg, d, sys).run(steps, res)
-	})
+	}
+	if cfg.Watchdog > 0 {
+		if err := world.RunWatched(cfg.Watchdog, speMain); err != nil {
+			return nil, err
+		}
+	} else {
+		world.Run(speMain)
+	}
 	res.CommMsgs, res.CommBytes = world.Stats()
+	res.Faults = world.FaultStats()
 	return res, nil
 }
 
@@ -112,6 +136,14 @@ type spe struct {
 	lastWork  float64
 	potE      float64
 	ghostSeen int
+}
+
+// send delivers a protocol message via SendReliable; exhausted retries are
+// a fatal transport failure, as in internal/core.
+func (p *spe) send(dst, tag int, data any, size int64) {
+	if err := p.c.SendReliableSized(dst, tag, data, size); err != nil {
+		panic(fmt.Sprintf("corestatic: rank %d: %v", p.c.Rank(), err))
+	}
 }
 
 func newSPE(c *comm.Comm, cfg *Config, d *decomp.Decomposition, sys workload.System) *spe {
@@ -189,7 +221,7 @@ func (p *spe) migrate() {
 	for _, nb := range p.nbs {
 		msg := out[nb]
 		sort.Slice(msg, func(a, b int) bool { return msg[a].ID < msg[b].ID })
-		p.c.SendSized(nb, tagMigrate, msg, int64(len(msg))*48)
+		p.send(nb, tagMigrate, msg, int64(len(msg))*48)
 	}
 	for _, nb := range p.nbs {
 		for _, one := range p.c.Recv(nb, tagMigrate).([]particle.One) {
@@ -217,7 +249,7 @@ func (p *spe) haloExchange() map[int][]vec.V {
 	for _, nb := range p.nbs {
 		cells := need[nb]
 		sort.Ints(cells)
-		p.c.Send(nb, tagNeed, cells)
+		p.send(nb, tagNeed, cells, 0)
 	}
 	for _, nb := range p.nbs {
 		req := p.c.Recv(nb, tagNeed).([]int)
@@ -235,7 +267,7 @@ func (p *spe) haloExchange() map[int][]vec.V {
 			bytes += int64(len(idx)) * 24
 			resp = append(resp, blk)
 		}
-		p.c.SendSized(nb, tagHalo, resp, bytes)
+		p.send(nb, tagHalo, resp, bytes)
 	}
 	ghost := make(map[int][]vec.V)
 	for _, nb := range p.nbs {

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"hash/fnv"
+	"math"
+	"time"
+
+	"permcell/internal/comm"
+	"permcell/internal/core"
+)
+
+// ChaosSpec runs one condensing DLB-DDM simulation under a comm
+// fault-injection plan, with per-step protocol verification on and the
+// deadlock watchdog armed. The replay property the chaos harness checks is
+// that two runs of the same spec (same Plan.Seed) produce the identical
+// deterministic trace (TraceHash).
+type ChaosSpec struct {
+	RunSpec
+	// Plan is the fault-injection plan (see comm.FaultPlan). Its Seed
+	// drives every injected fault; the RunSpec Seed drives the physics.
+	Plan comm.FaultPlan
+	// Watchdog is the deadlock-detection timeout (0 = no watchdog).
+	Watchdog time.Duration
+}
+
+// ChaosResult is the outcome of a chaos run.
+type ChaosResult struct {
+	Res  *core.Result
+	Info SysInfo
+	// Faults counts the faults actually injected.
+	Faults comm.FaultStats
+	// TraceHash fingerprints the deterministic per-step trace.
+	TraceHash uint64
+}
+
+// Run executes the chaos spec: the full parallel engine with the fault
+// plan threaded through the comm substrate and Verify asserting the
+// DESIGN.md Section 6 invariants after every step.
+func (s ChaosSpec) Run() (*ChaosResult, error) {
+	cfg, sys, info, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Faults = &s.Plan
+	cfg.Watchdog = s.Watchdog
+	cfg.Verify = true
+	res, err := core.Run(cfg, sys, s.Steps)
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosResult{
+		Res:       res,
+		Info:      info,
+		Faults:    res.Faults,
+		TraceHash: TraceHash(res.Stats),
+	}, nil
+}
+
+// TraceHash fingerprints the deterministic fields of a per-step trace with
+// FNV-1a: step, the work-metric load series, columns moved, the global
+// observables and the concentration census. Wall-clock fields are excluded
+// — they vary run to run (and chaos runs perturb them on purpose), while
+// everything hashed here must replay exactly from the seeds.
+func TraceHash(stats []core.StepStats) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	wi := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	wf := func(v float64) { wi(math.Float64bits(v)) }
+	for _, st := range stats {
+		wi(uint64(st.Step))
+		wf(st.WorkMax)
+		wf(st.WorkAve)
+		wf(st.WorkMin)
+		wi(uint64(st.Moved))
+		wf(st.TotalEnergy)
+		wf(st.Temperature)
+		wi(uint64(st.Conc.C))
+		wi(uint64(st.Conc.C0))
+		wf(st.Conc.C0OverC)
+		wf(st.Conc.NFactor)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"permcell/internal/comm"
+	"permcell/internal/core"
+)
+
+func tinyChaosSpec() ChaosSpec {
+	return ChaosSpec{
+		RunSpec: RunSpec{
+			M: 2, P: 4, Rho: 0.256, Steps: 30, DLB: true, Seed: 1,
+			WellK: 1.5, BlobFrac: 0.5,
+		},
+		Plan: comm.FaultPlan{
+			Seed:         42,
+			DelayProb:    0.05,
+			MaxDelay:     50 * time.Microsecond,
+			ReorderProb:  0.2,
+			ReorderDepth: 2,
+			FailProb:     0.02,
+			Stalls:       []comm.Stall{{Rank: 2, AfterOps: 100, Duration: 2 * time.Millisecond}},
+		},
+		Watchdog: 30 * time.Second,
+	}
+}
+
+// TestChaosReplaySameTrace is the replay property at the full-engine level:
+// two chaos runs from the same seeds produce the identical deterministic
+// per-step trace.
+func TestChaosReplaySameTrace(t *testing.T) {
+	spec := tinyChaosSpec()
+	a, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hashes differ across replays: %x vs %x", a.TraceHash, b.TraceHash)
+	}
+	if a.Faults == (comm.FaultStats{}) {
+		t.Error("chaos plan injected no faults")
+	}
+}
+
+// TestChaosFaultFreeMatchesPlainRun asserts a zero plan leaves the engine
+// byte-identical on the deterministic trace fields: chaos plumbing off the
+// hot path changes nothing.
+func TestChaosFaultFreeMatchesPlainRun(t *testing.T) {
+	spec := tinyChaosSpec()
+	spec.Plan = comm.FaultPlan{Seed: 9} // all probabilities zero, no stalls
+
+	chaos, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, info, err := spec.RunSpec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info != chaos.Info {
+		t.Errorf("system info differs: %+v vs %+v", info, chaos.Info)
+	}
+	if chaos.Faults != (comm.FaultStats{}) {
+		t.Errorf("fault-free plan injected faults: %+v", chaos.Faults)
+	}
+	if got, want := chaos.TraceHash, TraceHash(plain.Stats); got != want {
+		t.Fatalf("fault-free chaos trace differs from plain run: %x vs %x", got, want)
+	}
+}
+
+// TestTraceHashIgnoresWallTime pins the contract that lets chaos replays
+// compare equal: wall-clock fields do not contribute to the hash.
+func TestTraceHashIgnoresWallTime(t *testing.T) {
+	stats := []core.StepStats{{Step: 1, WorkMax: 10, WallMax: 1.5, StepWallMax: 2}}
+	perturbed := []core.StepStats{{Step: 1, WorkMax: 10, WallMax: 9.9, StepWallMax: 7}}
+	if TraceHash(stats) != TraceHash(perturbed) {
+		t.Error("wall-time fields leak into the trace hash")
+	}
+	changed := []core.StepStats{{Step: 1, WorkMax: 11, WallMax: 1.5, StepWallMax: 2}}
+	if TraceHash(stats) == TraceHash(changed) {
+		t.Error("work fields do not affect the trace hash")
+	}
+}

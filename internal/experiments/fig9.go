@@ -90,3 +90,22 @@ func scale(vals []float64, f float64) []float64 {
 	}
 	return out
 }
+
+// WriteCSV emits the trajectory as CSV (the cmd/figures -csv output): one
+// row per recorded step with a boundary flag marking the detected
+// experimental boundary point.
+func (r *Fig9Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "step,n,c0_over_c,boundary"); err != nil {
+		return err
+	}
+	for i := range r.Steps {
+		b := 0
+		if i == r.BoundaryIdx {
+			b = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%d\n", r.Steps[i], r.N[i], r.C0C[i], b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

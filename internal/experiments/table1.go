@@ -60,3 +60,23 @@ func (r *Table1Result) Render(w io.Writer) error {
 	fmt.Fprintln(w, "\n  (paper's observations: E/T < 1, increases with m, roughly independent of P)")
 	return nil
 }
+
+// WriteCSV emits the table as CSV (the cmd/figures -csv output): one row
+// per (m, P) cell, with an empty value where no boundary was detected.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "m,p,e_over_t"); err != nil {
+		return err
+	}
+	for _, m := range r.Ms {
+		for _, p := range r.Ps {
+			v := ""
+			if e, ok := r.EOverT[m][p]; ok {
+				v = fmt.Sprintf("%g", e)
+			}
+			if _, err := fmt.Fprintf(w, "%d,%d,%s\n", m, p, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

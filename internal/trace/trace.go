@@ -86,6 +86,32 @@ func DetectRise(vals []float64, window, baseLen int, factor, floor float64) int 
 	return rise
 }
 
+// FaultEvent is one injected communication fault, as recorded by the
+// internal/comm fault-injection layer. Seq is the faulting rank's comm-op
+// sequence number when the fault fired, which — together with the plan seed
+// — locates the event exactly on a replay.
+type FaultEvent struct {
+	Rank int     // rank the fault was injected on
+	Peer int     // destination rank of the affected message (-1 when N/A)
+	Tag  int     // tag of the affected message (0 when N/A)
+	Kind string  // "delay", "reorder", "fail", "stall"
+	Seq  int64   // rank-local comm-op sequence number
+	Dur  float64 // injected wait in seconds (delay/stall; 0 otherwise)
+}
+
+// WriteFaultCSV writes fault events as CSV (rank, peer, tag, kind, seq, dur).
+func WriteFaultCSV(w io.Writer, events []FaultEvent) error {
+	if _, err := fmt.Fprintln(w, "rank,peer,tag,kind,seq,dur"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%s,%d,%g\n", e.Rank, e.Peer, e.Tag, e.Kind, e.Seq, e.Dur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteCSV writes a header and rows of float columns.
 func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
 	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
