@@ -131,6 +131,32 @@ func BenchmarkForceKernelSerial(b *testing.B) {
 	b.ReportMetric(float64(eng.PairCount()), "pairs/step")
 }
 
+// BenchmarkKernelSharded measures the whole serial step (re-bin + flat
+// force kernel) against the intra-PE shard count; the pure-kernel
+// comparison against the historical map kernel lives in internal/kernel.
+func BenchmarkKernelSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			sys, err := workload.LatticeGas(4096, units.PaperDensity, units.PaperTref, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := mdserial.New(mdserial.Config{
+				Box: sys.Box, Pair: potential.NewPaperLJ(), Dt: units.PaperTimeStep,
+				Shards: shards,
+			}, sys.Set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+}
+
 func BenchmarkParallelStepDDM(b *testing.B) { benchParallelStep(b, false) }
 func BenchmarkParallelStepDLB(b *testing.B) { benchParallelStep(b, true) }
 

@@ -33,6 +33,7 @@ func main() {
 	m := flag.Int("m", 2, "square-pillar cross-section size")
 	steps := flag.Int("steps", 200, "time steps per run")
 	rho := flag.Float64("rho", 0.256, "reduced density")
+	shards := flag.Int("shards", 1, "per-PE force-kernel worker count")
 	delayProb := flag.Float64("delay-prob", 0.1, "per-send latency jitter probability")
 	maxDelay := flag.Duration("max-delay", 200*time.Microsecond, "jitter upper bound")
 	reorderProb := flag.Float64("reorder-prob", 0.2, "per-send reorder (hold-back) probability")
@@ -65,13 +66,13 @@ func main() {
 	spec := experiments.ChaosSpec{
 		RunSpec: experiments.RunSpec{
 			M: *m, P: *p, Rho: *rho, Steps: *steps, DLB: true, Seed: *seed,
-			WellK: 1.5, BlobFrac: 0.5,
+			WellK: 1.5, BlobFrac: 0.5, Shards: *shards,
 		},
 		Plan:     plan,
 		Watchdog: *watchdog,
 	}
 
-	fmt.Printf("chaos: P=%d m=%d rho=%g steps=%d seed=%d\n", *p, *m, *rho, *steps, *seed)
+	fmt.Printf("chaos: P=%d m=%d rho=%g steps=%d seed=%d shards=%d\n", *p, *m, *rho, *steps, *seed, *shards)
 	fmt.Printf("plan: delay %.2g<=%v reorder %.2g(depth %d) fail %.2g stalls %d x %v watchdog %v\n",
 		*delayProb, *maxDelay, *reorderProb, *reorderDepth, *failProb, *stalls, *stallDur, *watchdog)
 

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"permcell/internal/kernel"
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/workload"
+)
+
+// kernelBenchResult is one timed configuration in BENCH_kernel.json.
+type kernelBenchResult struct {
+	Name        string  `json:"name"`
+	Shards      int     `json:"shards"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// kernelBenchReport is the BENCH_kernel.json schema. One "op" is a full
+// kernel step: re-bin every particle plus the complete force pass.
+type kernelBenchReport struct {
+	Benchmark  string              `json:"benchmark"`
+	N          int                 `json:"n_particles"`
+	Grid       string              `json:"grid"`
+	Rho        float64             `json:"rho"`
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Results    []kernelBenchResult `json:"results"`
+}
+
+// runBenchJSON times the flat cell-list kernel at the Tiny-preset m=3
+// geometry (grid 6x6x6, N=1296, the configuration the acceptance gate
+// tracks) for shard counts 1, 2 and 8, and writes the report as JSON. The
+// historical map-based kernel lives only in the kernel package's tests;
+// its comparison baseline is BenchmarkKernelMap there.
+func runBenchJSON(path string) error {
+	sys, err := workload.LatticeGas(1296, 0.384, 0.722, 1)
+	if err != nil {
+		return err
+	}
+	g, err := space.NewGrid(sys.Box, 2.5)
+	if err != nil {
+		return err
+	}
+	lj := potential.NewPaperLJ()
+	cells := make([]int, g.NumCells())
+	for c := range cells {
+		cells[c] = c
+	}
+
+	rep := kernelBenchReport{
+		Benchmark:  "kernel-flat-step",
+		N:          sys.Set.Len(),
+		Grid:       fmt.Sprintf("%dx%dx%d", g.Nx, g.Ny, g.Nz),
+		Rho:        0.384,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range []int{1, 2, 8} {
+		cl := kernel.NewCellLists(g, shards)
+		cl.SetHosted(cells)
+		cl.SealGhosts()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if bad := cl.Bin(sys.Set.Pos); bad >= 0 {
+					b.Fatal("bin failed")
+				}
+				sys.Set.ZeroForces()
+				cl.Compute(lj, sys.Set)
+			}
+		})
+		cl.Close()
+		rep.Results = append(rep.Results, kernelBenchResult{
+			Name:        fmt.Sprintf("KernelFlat/shards=%d", shards),
+			Shards:      shards,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|all [-scale tiny|small|full] [-seed N] [-csv]
+//	figures -bench-json BENCH_kernel.json
 //
 // Each id prints the same rows/series the paper reports (see DESIGN.md's
 // per-experiment index). Scales: tiny (seconds, CI), small (minutes,
@@ -24,7 +25,16 @@ func main() {
 	scale := flag.String("scale", "small", "preset scale: tiny, small, full")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered text (fig9, table1)")
+	benchJSON := flag.String("bench-json", "", "time the force kernel and write BENCH_kernel.json to this path ('-' = stdout), then exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pr, ok := experiments.PresetByName(*scale)
 	if !ok {

@@ -6,16 +6,25 @@
 // Usage:
 //
 //	mdrun [-m 3] [-p 16] [-rho 0.256] [-steps 600] [-dlb] [-wells 12]
-//	      [-wellk 1.5] [-dt 0.005] [-hyst 0.1] [-seed 1] [-o out.csv]
+//	      [-wellk 1.5] [-dt 0.005] [-hyst 0.1] [-seed 1] [-shards 1]
+//	      [-o out.csv]
+//
+// Rows stream as the simulation advances (the run is O(1) in memory), so a
+// long run can be watched with tail -f. Interrupting with Ctrl-C stops at
+// the next step boundary and still flushes a complete CSV prefix.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"permcell/internal/experiments"
-	"permcell/internal/trace"
+	"permcell"
 )
 
 func main() {
@@ -29,21 +38,12 @@ func main() {
 	dt := flag.Float64("dt", 0.005, "time step (reduced units; paper uses 1e-4)")
 	hyst := flag.Float64("hyst", 0.1, "DLB hysteresis")
 	seed := flag.Uint64("seed", 1, "RNG seed")
+	shards := flag.Int("shards", 1, "per-PE force-kernel worker count")
 	out := flag.String("o", "", "CSV output path (default stdout)")
 	flag.Parse()
 
-	spec := experiments.RunSpec{
-		M: *m, P: *p, Rho: *rho, Steps: *steps, DLB: *dlbOn,
-		Seed: *seed, WellK: *wellK, Wells: *wells,
-		Hysteresis: *hyst, Dt: *dt, StatsEvery: 1,
-	}
-	res, info, err := spec.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mdrun:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "mdrun: N=%d C=%d (nc=%d) box=%.2f rho=%.4f dlb=%v msgs=%d\n",
-		info.N, info.C, info.NC, info.Box, info.RhoUsed, *dlbOn, res.CommMsgs)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	w := os.Stdout
 	if *out != "" {
@@ -58,17 +58,51 @@ func main() {
 	header := []string{"step", "work_max", "work_ave", "work_min",
 		"wall_max", "wall_ave", "wall_min", "step_wall_max",
 		"moved", "energy", "temperature", "c0_over_c", "n_factor"}
-	rows := make([][]float64, 0, len(res.Stats))
-	for _, st := range res.Stats {
-		rows = append(rows, []float64{
+	fmt.Fprintln(w, strings.Join(header, ","))
+
+	writeErr := error(nil)
+	row := func(st permcell.StepStats) {
+		vals := []float64{
 			float64(st.Step), st.WorkMax, st.WorkAve, st.WorkMin,
 			st.WallMax, st.WallAve, st.WallMin, st.StepWallMax,
 			float64(st.Moved), st.TotalEnergy, st.Temperature,
 			st.Conc.C0OverC, st.Conc.NFactor,
-		})
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil && writeErr == nil {
+			writeErr = err
+		}
 	}
-	if err := trace.WriteCSV(w, header, rows); err != nil {
+
+	wk := *wellK
+	if *wells == 0 {
+		wk = 0
+	}
+	opts := []permcell.Option{
+		permcell.WithSeed(*seed), permcell.WithDt(*dt),
+		permcell.WithWells(*wells, wk), permcell.WithHysteresis(*hyst),
+		permcell.WithShards(*shards),
+		permcell.WithOnStep(row), permcell.WithDiscardStats(),
+	}
+	if *dlbOn {
+		opts = append(opts, permcell.WithDLB())
+	}
+
+	res, err := permcell.Run(ctx, *m, *p, *rho, *steps, opts...)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mdrun: interrupted; partial run flushed")
+		err = nil
+	}
+	if err == nil {
+		err = writeErr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdrun:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "mdrun: N=%d dlb=%v shards=%d msgs=%d bytes=%d\n",
+		res.Final.Len(), *dlbOn, *shards, res.CommMsgs, res.CommBytes)
 }

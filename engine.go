@@ -1,0 +1,322 @@
+package permcell
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"permcell/internal/conc"
+	"permcell/internal/core"
+	"permcell/internal/corestatic"
+	"permcell/internal/decomp"
+	"permcell/internal/experiments"
+	"permcell/internal/mdserial"
+	"permcell/internal/potential"
+	"permcell/internal/rng"
+	"permcell/internal/space"
+	"permcell/internal/units"
+	"permcell/internal/vec"
+	"permcell/internal/workload"
+)
+
+// Engine is a stepwise MD simulation: the DLB/DDM parallel engine (New),
+// the static-decomposition engine (NewStatic) and the serial reference
+// engine (NewSerial) all present this shape, so drivers can stream,
+// checkpoint or stop any of them the same way.
+//
+// Step advances by n time steps and blocks until they complete. Stats
+// returns the per-step records collected so far (empty under
+// WithDiscardStats); the slice is live and must only be read between Step
+// calls. Result ends the run, releases any worker goroutines and returns
+// the completed outcome; it must be called exactly once even when
+// abandoning a run early, and is the only teardown an Engine needs.
+// Engines are not safe for concurrent use.
+type Engine interface {
+	Step(n int) error
+	Stats() []StepStats
+	Result() (*Result, error)
+}
+
+// Shape selects a static domain decomposition for NewStatic.
+type Shape = decomp.Shape
+
+// Static decomposition shapes (Fig. 2 of the paper).
+const (
+	ShapePlane        = decomp.Plane
+	ShapeSquarePillar = decomp.SquarePillar
+	ShapeCube         = decomp.Cube
+)
+
+// New starts the parallel engine in paper coordinates: P PEs (perfect
+// square) over a grid of (m*sqrt(P))^3 cells of side r_c = 2.5 sigma, at
+// reduced density rho (N = round(rho * volume)), with the paper's LJ fluid
+// and thermostat. WithDLB selects permanent-cell load balancing. The PE
+// goroutines idle awaiting the first Step.
+func New(m, p int, rho float64, opts ...Option) (Engine, error) {
+	o := buildOptions(opts)
+	spec := experiments.RunSpec{
+		M: m, P: p, Rho: rho, DLB: o.dlb, Seed: o.seed, Dt: o.dt,
+		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
+		StatsEvery: o.statsEvery, Shards: o.shards,
+	}
+	cfg, sys, _, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	cfg.OnStep = o.onStep
+	cfg.DiscardStats = o.discard
+	cfg.Faults = o.faults
+	cfg.Watchdog = o.watchdog
+	eng, err := core.NewEngine(cfg, sys)
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	return (*parallelEngine)(eng), nil
+}
+
+// Run executes steps time steps of the parallel engine and returns the
+// outcome. Cancelling ctx stops the run at the next step boundary and
+// returns the partial result together with ctx.Err().
+func Run(ctx context.Context, m, p int, rho float64, steps int, opts ...Option) (*Result, error) {
+	eng, err := New(m, p, rho, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return RunEngine(ctx, eng, steps)
+}
+
+// RunEngine drives any Engine for steps time steps, checking ctx between
+// steps. On cancellation it finalizes the engine and returns the partial
+// result together with ctx.Err(); otherwise the completed result.
+func RunEngine(ctx context.Context, eng Engine, steps int) (*Result, error) {
+	for i := 0; i < steps; i++ {
+		if ctx.Err() != nil {
+			res, rerr := eng.Result()
+			if rerr != nil {
+				return nil, rerr
+			}
+			return res, ctx.Err()
+		}
+		if err := eng.Step(1); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Result()
+}
+
+// parallelEngine adapts core.Engine to the facade interface.
+type parallelEngine core.Engine
+
+func (e *parallelEngine) Step(n int) error         { return (*core.Engine)(e).Step(n) }
+func (e *parallelEngine) Stats() []StepStats       { return (*core.Engine)(e).Stats() }
+func (e *parallelEngine) Result() (*Result, error) { return (*core.Engine)(e).Finish() }
+
+// buildSystem constructs the shared serial/static setup: a box of nc cells
+// of side r_c per dimension at reduced density rho, the paper's LJ fluid
+// at the paper's temperature, plus the optional condensation wells.
+func buildSystem(nc int, rho float64, o Options) (workload.System, space.Grid, potential.External, error) {
+	if nc < 1 {
+		return workload.System{}, space.Grid{}, nil, fmt.Errorf("permcell: grid side %d", nc)
+	}
+	l := float64(nc) * units.PaperCutoff
+	n := int(math.Round(rho * l * l * l))
+	sys, err := workload.LatticeGas(n, float64(n)/(l*l*l), units.PaperTref, o.seed)
+	if err != nil {
+		return workload.System{}, space.Grid{}, nil, err
+	}
+	g, err := space.NewGridWithDims(sys.Box, nc, nc, nc)
+	if err != nil {
+		return workload.System{}, space.Grid{}, nil, err
+	}
+	var ext potential.External
+	if o.wellK > 0 {
+		if o.wells <= 1 {
+			ext = potential.HarmonicWell{Center: sys.Box.L.Scale(0.5), K: o.wellK, L: sys.Box.L}
+		} else {
+			// Same seed derivation as the experiments package, so facade
+			// runs and experiment runs place identical wells.
+			r := rng.New(o.seed ^ 0xA5A5A5A5)
+			centers := make([]vec.V, o.wells)
+			for i := range centers {
+				centers[i] = r.InBox(sys.Box.L)
+			}
+			ext = potential.MultiWell{Centers: centers, K: o.wellK, L: sys.Box.L}
+		}
+	}
+	return sys, g, ext, nil
+}
+
+func (o Options) dtOrDefault() float64 {
+	if o.dt == 0 {
+		return 0.005
+	}
+	return o.dt
+}
+
+// NewStatic starts the static-decomposition engine: the box is nc cells of
+// side r_c per dimension, partitioned over p PEs in the given shape with
+// no load balancing. Work and ghost-surface statistics land in the shared
+// StepStats fields; DLB-only fields stay zero.
+func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, error) {
+	o := buildOptions(opts)
+	sys, g, ext, err := buildSystem(nc, rho, o)
+	if err != nil {
+		return nil, err
+	}
+	cfg := corestatic.Config{
+		Shape: shape, P: p, Grid: g,
+		Pair: potential.NewPaperLJ(), Ext: ext,
+		Dt: o.dtOrDefault(), Tref: units.PaperTref, RescaleEvery: units.PaperRescaleInterval,
+		Shards: o.shards, Faults: o.faults, Watchdog: o.watchdog,
+	}
+	eng, err := corestatic.NewEngine(cfg, sys)
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	return &staticEngine{eng: eng, o: o}, nil
+}
+
+// staticEngine adapts corestatic.Engine, folding its narrower per-step
+// records into the shared StepStats shape as they appear.
+type staticEngine struct {
+	eng   *corestatic.Engine
+	o     Options
+	stats []StepStats
+	seen  int
+}
+
+func (e *staticEngine) Step(n int) error {
+	if err := e.eng.Step(n); err != nil {
+		return err
+	}
+	e.drain()
+	return nil
+}
+
+func (e *staticEngine) drain() {
+	raw := e.eng.Stats()
+	for _, r := range raw[e.seen:] {
+		if r.Step%e.o.statsEvery != 0 {
+			continue
+		}
+		st := StepStats{
+			Step:    r.Step,
+			WorkMax: r.WorkMax, WorkAve: r.WorkAve, WorkMin: r.WorkMin,
+			TotalEnergy: r.TotalEnergy,
+		}
+		if !e.o.discard {
+			e.stats = append(e.stats, st)
+		}
+		if e.o.onStep != nil {
+			e.o.onStep(st)
+		}
+	}
+	e.seen = len(raw)
+}
+
+func (e *staticEngine) Stats() []StepStats { return e.stats }
+
+func (e *staticEngine) Result() (*Result, error) {
+	raw, err := e.eng.Finish()
+	if err != nil {
+		return nil, err
+	}
+	e.drain()
+	return &Result{
+		Stats: e.stats, Final: raw.Final,
+		CommMsgs: raw.CommMsgs, CommBytes: raw.CommBytes,
+		Faults: raw.Faults,
+	}, nil
+}
+
+// NewSerial starts the serial reference engine on a box of nc cells of
+// side r_c per dimension. It runs the identical numerical method (and the
+// same flat force kernel) with no communication, but as a pure NVE system
+// with the energy-shifted LJ: total energy is conserved, which is the
+// serial engine's role as a numerical oracle. (The parallel engines use
+// the paper's thermostatted truncated LJ.) Fault-plan and watchdog options
+// are ignored.
+func NewSerial(nc int, rho float64, opts ...Option) (Engine, error) {
+	o := buildOptions(opts)
+	sys, g, ext, err := buildSystem(nc, rho, o)
+	if err != nil {
+		return nil, err
+	}
+	lj, err := potential.NewLJ(1, 1, units.PaperCutoff, true)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := mdserial.New(mdserial.Config{
+		Box: sys.Box, Pair: lj, Ext: ext,
+		Dt: o.dtOrDefault(), Grid: g, Shards: o.shards,
+	}, sys.Set)
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	return &serialEngine{eng: eng, o: o}, nil
+}
+
+// serialEngine adapts mdserial.Engine, synthesizing the one-PE census.
+type serialEngine struct {
+	eng   *mdserial.Engine
+	o     Options
+	stats []StepStats
+	res   *Result
+	err   error
+}
+
+func (e *serialEngine) Step(n int) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.res != nil {
+		return fmt.Errorf("permcell: Step after Result")
+	}
+	if n < 0 {
+		return fmt.Errorf("permcell: negative step count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		e.eng.Step()
+		step := e.eng.StepCount()
+		if step%e.o.statsEvery != 0 {
+			continue
+		}
+		occ := e.eng.CellOccupancy()
+		empty := 0
+		for _, c := range occ {
+			if c == 0 {
+				empty++
+			}
+		}
+		w := float64(e.eng.PairCount())
+		st := StepStats{
+			Step:    step,
+			WorkMax: w, WorkAve: w, WorkMin: w,
+			TotalEnergy: e.eng.TotalEnergy(),
+			Temperature: e.eng.Set().Temperature(),
+			Conc:        conc.Compute([]conc.PE{{Cells: len(occ), Empty: empty}}),
+		}
+		if !e.o.discard {
+			e.stats = append(e.stats, st)
+		}
+		if e.o.onStep != nil {
+			e.o.onStep(st)
+		}
+	}
+	return nil
+}
+
+func (e *serialEngine) Stats() []StepStats { return e.stats }
+
+func (e *serialEngine) Result() (*Result, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.res == nil {
+		e.eng.Close()
+		final := e.eng.Set().Clone()
+		final.SortByID()
+		e.res = &Result{Stats: e.stats, Final: final}
+	}
+	return e.res, nil
+}

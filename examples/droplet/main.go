@@ -7,27 +7,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"permcell/internal/experiments"
-	"permcell/internal/theory"
+	"permcell"
 )
 
 func main() {
 	const m, p = 2, 16
-	spec := experiments.RunSpec{
-		M: m, P: p, Rho: 0.128, Steps: 600, DLB: true,
-		Seed: 3, WellK: 2.0, Wells: 4, Hysteresis: 0.1, StatsEvery: 1,
-	}
 	fmt.Println("droplet: condensing run under DLB-DDM; watching the DLB limit...")
-	res, info, err := spec.Run()
+	res, err := permcell.Run(context.Background(), m, p, 0.128, 600,
+		permcell.WithDLB(), permcell.WithSeed(3),
+		permcell.WithWells(4, 2.0), permcell.WithHysteresis(0.1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	cPrime := permcell.MaxDomainColumns(m)
 	fmt.Printf("N=%d, C=%d, P=%d, m=%d; C' = %d columns (%.2fx a PE's own %d)\n\n",
-		info.N, info.C, p, m,
-		theory.CPrimeColumns(m), float64(theory.CPrimeColumns(m))/float64(m*m), m*m)
+		res.Final.Len(), res.Stats[0].Conc.C, p, m,
+		cPrime, float64(cPrime)/float64(m*m), m*m)
 
 	fmt.Printf("%8s %8s %8s %10s %10s %12s %8s\n",
 		"step", "n", "C0/C", "f(m,n)", "margin", "imbalance", "moved")
@@ -38,7 +37,11 @@ func main() {
 		n := st.Conc.NFactor
 		bound := 1.0
 		if n > 1 {
-			bound = theory.MustF(m, n)
+			b, err := permcell.Bound(m, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bound = b
 		}
 		fmt.Printf("%8d %8.3f %8.3f %10.3f %+10.3f %12.2f %8d\n",
 			st.Step, n, st.Conc.C0OverC, bound, bound-st.Conc.C0OverC,

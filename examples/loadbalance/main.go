@@ -7,33 +7,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"permcell/internal/experiments"
+	"permcell"
 	"permcell/internal/trace"
 )
 
 func main() {
-	spec := experiments.RunSpec{
-		M: 3, P: 16, Rho: 0.256, Steps: 400,
-		Seed: 7, WellK: 1.5, Wells: 12, Hysteresis: 0.1, StatsEvery: 1,
+	const m, p = 3, 16
+	opts := []permcell.Option{
+		permcell.WithSeed(7), permcell.WithWells(12, 1.5), permcell.WithHysteresis(0.1),
 	}
 
 	fmt.Println("running DDM (no load balancing)...")
-	ddm, info, err := spec.Run()
+	ddm, err := permcell.Run(context.Background(), m, p, 0.256, 400, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec.DLB = true
 	fmt.Println("running DLB-DDM (permanent-cell dynamic load balancing)...")
-	dlb, _, err := spec.Run()
+	dlb, err := permcell.Run(context.Background(), m, p, 0.256, 400,
+		append(opts, permcell.WithDLB())...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nN=%d particles, C=%d cells, P=%d PEs, m=%d\n\n", info.N, info.C, spec.P, spec.M)
+	fmt.Printf("\nN=%d particles, C=%d cells, P=%d PEs, m=%d\n\n",
+		ddm.Final.Len(), ddm.Stats[0].Conc.C, p, m)
 	fmt.Printf("%8s  %22s  %22s\n", "", "DDM", "DLB-DDM")
 	fmt.Printf("%8s  %10s %11s  %10s %11s\n", "step", "Tt[pairs]", "(max-min)/avg", "Tt[pairs]", "(max-min)/avg")
 	var sd, sl []float64

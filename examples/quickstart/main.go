@@ -1,6 +1,6 @@
-// Quickstart: a minimal serial Lennard-Jones simulation with the paper's
-// numerical setup (cell lists, velocity Verlet, reduced Argon units) and an
-// energy-conservation check.
+// Quickstart: a minimal serial Lennard-Jones simulation through the
+// public options API — the paper's numerical setup (cell lists, velocity
+// Verlet, reduced Argon units) with an energy-conservation check.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,53 +9,40 @@ import (
 	"fmt"
 	"log"
 
-	"permcell/internal/mdserial"
-	"permcell/internal/potential"
-	"permcell/internal/units"
-	"permcell/internal/workload"
+	"permcell"
 )
 
 func main() {
-	// 512 Argon atoms at the paper's supercooled conditions.
-	sys, err := workload.LatticeGas(512, units.PaperDensity, units.PaperTref, 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("quickstart: N=%d, box %.2f sigma (%.1f nm), T*=%.3f (%.0f K)\n",
-		sys.Set.Len(), sys.Box.L.X,
-		units.LengthToMeters(sys.Box.L.X)*1e9,
-		sys.Set.Temperature(), units.TemperatureToKelvin(sys.Set.Temperature()))
-
-	// Pure NVE: no thermostat, so total energy must be conserved. The
-	// energy-shifted LJ keeps the potential continuous at the cut-off;
-	// with the plain truncated form every cut-off crossing would jump the
-	// energy by V(r_c) and the "conservation" check would only measure
-	// that artifact.
-	lj, err := potential.NewLJ(1, 1, 2.5, true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := mdserial.New(mdserial.Config{
-		Box:  sys.Box,
-		Pair: lj,
-		Dt:   0.002,
-	}, sys.Set)
+	// The serial reference engine: a box of 4^3 cells of side r_c = 2.5
+	// sigma at the paper's supercooled density (N = 256 Argon atoms). It
+	// runs pure NVE with the energy-shifted LJ, so total energy must be
+	// conserved — the engine's role as a numerical oracle.
+	eng, err := permcell.NewSerial(4, permcell.PaperDensity,
+		permcell.WithSeed(42), permcell.WithDt(0.002))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	e0 := eng.TotalEnergy()
-	fmt.Printf("initial: E=%.4f (K=%.4f, U=%.4f), %d cells, %d pair evals/step\n",
-		e0, sys.Set.KineticEnergy(), eng.PotentialEnergy(),
-		eng.Grid().NumCells(), eng.PairCount())
-
+	var e0 float64
 	for block := 0; block < 5; block++ {
-		eng.Run(200)
-		e := eng.TotalEnergy()
+		if err := eng.Step(200); err != nil {
+			log.Fatal(err)
+		}
+		stats := eng.Stats()
+		if block == 0 {
+			e0 = stats[0].TotalEnergy
+			fmt.Printf("initial: E=%.4f, %.0f pair evals/step\n", e0, stats[0].WorkAve)
+		}
+		last := stats[len(stats)-1]
 		fmt.Printf("step %4d: E=%.4f  T*=%.3f  drift=%+.2e\n",
-			eng.StepCount(), e, eng.Set().Temperature(), (e-e0)/e0)
+			last.Step, last.TotalEnergy, last.Temperature, (last.TotalEnergy-e0)/e0)
 	}
-	fmt.Println("the drift stays bounded (~1e-4 here, from the residual force")
-	fmt.Println("discontinuity at the cut-off) instead of growing: velocity Verlet")
+
+	res, err := eng.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: N=%d particles intact\n", res.Final.Len())
+	fmt.Println("the drift stays bounded instead of growing: velocity Verlet")
 	fmt.Println("is symplectic.")
 }

@@ -71,6 +71,21 @@ func WithFaults(plan FaultPlan) Option {
 	return func(w *World) { w.fs = newFaultState(w.size, plan) }
 }
 
+// WithTracking arms per-op progress tracking without a fault plan, so
+// Snapshot and WatchSection can report per-rank state. RunWatched arms it
+// implicitly; stepwise drivers that watch individual sections need it at
+// construction time.
+func WithTracking() Option {
+	return func(w *World) {
+		if w.track == nil {
+			w.track = newTracker(w.size)
+			for i := range w.track.ranks {
+				w.track.ranks[i].t = w.track
+			}
+		}
+	}
+}
+
 // NewWorld returns a world of p ranks.
 func NewWorld(p int, opts ...Option) (*World, error) {
 	if p < 1 {

@@ -174,7 +174,24 @@ func (w *World) RunWatched(timeout time.Duration, fn func(c *Comm)) error {
 		w.Run(fn)
 		close(done)
 	}()
+	return w.WatchSection(timeout, done)
+}
 
+// WatchSection watches one bounded section of communication for progress:
+// it returns nil once done is closed, or a *DeadlockError if no rank
+// completes a communication operation for timeout while the section is in
+// flight. Unlike RunWatched, which guards a whole run, this scopes the
+// watchdog to a single batch of work — a stepwise engine's ranks sit idle
+// between Step calls, which must not count as a stall.
+//
+// Tracking must have been armed at construction (WithTracking or
+// WithFaults); without it the call just waits for done. A timeout <= 0
+// also just waits.
+func (w *World) WatchSection(timeout time.Duration, done <-chan struct{}) error {
+	if timeout <= 0 || w.track == nil {
+		<-done
+		return nil
+	}
 	poll := timeout / 8
 	if poll < time.Millisecond {
 		poll = time.Millisecond

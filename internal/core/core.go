@@ -83,11 +83,20 @@ type Config struct {
 	DLBPick dlb.Strategy
 	// Metric selects the DLB decision load metric.
 	Metric LoadMetric
+	// Shards is the per-PE force-kernel worker count (<= 1 = serial
+	// kernel). Results are bit-deterministic for a given shard count but
+	// differ between shard counts, so the value is part of the run identity
+	// (trace headers record it).
+	Shards int
 	// OnStep, when non-nil, is invoked on rank 0 with each step's stats.
 	OnStep func(StepStats)
 	// StatsEvery controls how often concentration stats are computed
 	// (they cost one small allgather; default 1 = every step).
 	StatsEvery int
+	// DiscardStats drops the per-step records from the Result after the
+	// OnStep hook has seen them, so long streaming runs stay O(1) in
+	// memory.
+	DiscardStats bool
 
 	// Faults, when non-nil, runs the whole exchange under the comm
 	// fault-injection plan (chaos testing); payload transfers then go

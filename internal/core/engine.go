@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"permcell/internal/comm"
+	"permcell/internal/potential"
+	"permcell/internal/workload"
+)
+
+// Engine is the stepwise form of Run: the PE goroutines are spawned once
+// and then advanced in caller-controlled batches, so a driver can stream
+// statistics, checkpoint, or stop early. The physics is identical to Run —
+// the same per-PE loop body executes, commanded over per-rank channels
+// instead of a fixed step count — so a given Config, system and total step
+// count produce bit-identical results either way.
+//
+// An Engine is not safe for concurrent use. Finish must be called exactly
+// once to release the PE goroutines, even when abandoning the run early.
+type Engine struct {
+	cfg     Config
+	world   *comm.World
+	res     *Result
+	cmd     []chan int
+	ack     chan struct{}
+	runDone chan struct{}
+	stepped int
+	err     error
+	done    bool
+}
+
+// NewEngine validates cfg, distributes sys and starts the PE goroutines.
+// They compute the step-0 forces and then idle awaiting the first Step.
+// The input system is not modified.
+func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ext == nil {
+		cfg.Ext = potential.NoField{}
+	}
+	if cfg.StatsEvery <= 0 {
+		cfg.StatsEvery = 1
+	}
+	layout, err := cfg.Layout()
+	if err != nil {
+		return nil, err
+	}
+	var opts []comm.Option
+	if cfg.InboxCap > 0 {
+		opts = append(opts, comm.WithInboxCapacity(cfg.InboxCap))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, comm.WithFaults(*cfg.Faults))
+	}
+	if cfg.Watchdog > 0 {
+		// Batch-scoped watching: the whole-run watchdog of Run would see
+		// the idle gaps between Step calls as stalls.
+		opts = append(opts, comm.WithTracking())
+	}
+	world, err := comm.NewWorld(cfg.P, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		cfg:     cfg,
+		world:   world,
+		res:     &Result{M: layout.M},
+		cmd:     make([]chan int, cfg.P),
+		ack:     make(chan struct{}, cfg.P),
+		runDone: make(chan struct{}),
+	}
+	for i := range e.cmd {
+		e.cmd[i] = make(chan int, 1)
+	}
+	go func() {
+		defer close(e.runDone)
+		world.Run(func(c *comm.Comm) {
+			newPE(c, &e.cfg, layout, sys).runStepwise(e.cmd[c.Rank()], e.ack, e.res)
+		})
+	}()
+
+	// The step-0 force computation (init) involves communication; watch it
+	// like a batch so a hang there is reported, not waited out. The PEs
+	// signal readiness implicitly: they only touch cmd after init, so the
+	// first Step would queue behind it anyway. Nothing to wait for here.
+	return e, nil
+}
+
+// Step advances the simulation by n time steps and blocks until every PE
+// has completed the batch. Under a positive cfg.Watchdog a communication
+// stall inside the batch returns a *DeadlockError instead of hanging; the
+// engine is then unusable (its ranks are left blocked, as after a real
+// deadlock).
+func (e *Engine) Step(n int) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.done {
+		return fmt.Errorf("core: Step after Finish")
+	}
+	if n < 0 {
+		return fmt.Errorf("core: negative step count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	for _, ch := range e.cmd {
+		ch <- n
+	}
+	done := make(chan struct{})
+	go func() {
+		for range e.cmd {
+			<-e.ack
+		}
+		close(done)
+	}()
+	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+		e.err = err
+		return err
+	}
+	e.stepped += n
+	return nil
+}
+
+// Stepped returns the number of time steps advanced so far.
+func (e *Engine) Stepped() int { return e.stepped }
+
+// Stats returns the per-step records collected so far (empty when
+// cfg.DiscardStats is set). The slice is live: it must only be read
+// between Step calls, while the PEs are idle, and grows with each batch.
+func (e *Engine) Stats() []StepStats { return e.res.Stats }
+
+// Finish releases the PE goroutines, gathers the final global state and
+// returns the completed Result. After a Step error it returns that error
+// without touching the (blocked) ranks.
+func (e *Engine) Finish() (*Result, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.done {
+		return e.res, nil
+	}
+	e.done = true
+	for _, ch := range e.cmd {
+		ch <- -1
+	}
+	if err := e.world.WatchSection(e.cfg.Watchdog, e.runDone); err != nil {
+		e.err = err
+		return nil, err
+	}
+	e.res.CommMsgs, e.res.CommBytes = e.world.Stats()
+	e.res.Faults = e.world.FaultStats()
+	e.res.FaultEvents = e.world.FaultEvents()
+	return e.res, nil
+}

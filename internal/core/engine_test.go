@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineMatchesRun drives the stepwise engine over uneven batches and
+// demands the exact Result that the one-shot Run produces for the same
+// total step count: bit-identical final state and per-step stats.
+func TestEngineMatchesRun(t *testing.T) {
+	sys, g := testSystem(t, 6, 0.4, 41)
+	cfg := baseConfig(g, 9)
+	cfg.DLB = true
+	const steps = 12
+
+	ref, err := Run(cfg, sys, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 0, 4, 7} { // 12 total, with a no-op batch
+		if err := eng.Step(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Stepped() != steps {
+		t.Fatalf("Stepped() = %d, want %d", eng.Stepped(), steps)
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Stats) != len(ref.Stats) {
+		t.Fatalf("stats length %d vs %d", len(res.Stats), len(ref.Stats))
+	}
+	for i := range ref.Stats {
+		a, b := res.Stats[i], ref.Stats[i]
+		// Wall-clock fields are nondeterministic; everything else must be
+		// bit-identical.
+		if a.Step != b.Step || a.WorkMax != b.WorkMax || a.WorkAve != b.WorkAve ||
+			a.WorkMin != b.WorkMin || a.Moved != b.Moved ||
+			a.TotalEnergy != b.TotalEnergy || a.Temperature != b.Temperature ||
+			a.Conc != b.Conc {
+			t.Fatalf("step %d stats diverged: stepwise %+v vs run %+v", b.Step, a, b)
+		}
+	}
+	if res.Final.Len() != ref.Final.Len() {
+		t.Fatalf("N %d vs %d", res.Final.Len(), ref.Final.Len())
+	}
+	for i := range ref.Final.Pos {
+		if res.Final.Pos[i] != ref.Final.Pos[i] || res.Final.Vel[i] != ref.Final.Vel[i] {
+			t.Fatalf("particle %d state differs between stepwise and Run", ref.Final.ID[i])
+		}
+	}
+	if res.CommMsgs == 0 {
+		t.Error("no comm stats collected")
+	}
+}
+
+// TestEngineStatsBetweenBatches checks that stats accumulate incrementally
+// and are safely readable while the PEs idle between batches.
+func TestEngineStatsBetweenBatches(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.256, 42)
+	cfg := baseConfig(g, 4)
+	cfg.Watchdog = time.Minute // exercise the batch-scoped watchdog path
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eng.Stats()); n != 3 {
+		t.Fatalf("after 3 steps: %d stats", n)
+	}
+	if err := eng.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eng.Stats()); n != 5 {
+		t.Fatalf("after 5 steps: %d stats", n)
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil {
+		t.Fatal("no final state")
+	}
+	// Finish is idempotent; Step afterwards is an error.
+	if _, err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(1); err == nil {
+		t.Error("Step after Finish accepted")
+	}
+}
+
+func TestEngineRejectsBadConfig(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.256, 43)
+	cfg := baseConfig(g, 5) // not a perfect square
+	if _, err := NewEngine(cfg, sys); err == nil {
+		t.Error("non-square P accepted")
+	}
+	cfg = baseConfig(g, 4)
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(-1); err == nil {
+		t.Error("negative batch accepted")
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

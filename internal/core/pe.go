@@ -55,10 +55,11 @@ type pe struct {
 	lg     *dlb.Ledger
 	nbs    []int // unique neighbor ranks, ascending
 
-	set     particle.Set
-	cellMap map[int][]int // hosted cell -> local particle indices
-	hosted  map[int]bool  // hosted cells
-	colPop  map[int]int   // hosted column -> particle count
+	set    particle.Set
+	cl     *kernel.CellLists // flat cell lists + force kernel scratch
+	dirty  bool              // hosted column set changed; refresh cl topology
+	cells  []int             // scratch for the hosted cell list
+	colPop map[int]int       // hosted column -> particle count
 
 	lastWork float64 // pair evaluations of last force computation
 	lastWall float64 // wall seconds of last force computation
@@ -78,13 +79,13 @@ func (p *pe) send(dst, tag int, data any, size int64) {
 
 func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *pe {
 	p := &pe{
-		c:       c,
-		cfg:     cfg,
-		layout:  layout,
-		lg:      dlb.NewLedger(layout, c.Rank()),
-		cellMap: make(map[int][]int),
-		hosted:  make(map[int]bool),
-		colPop:  make(map[int]int),
+		c:      c,
+		cfg:    cfg,
+		layout: layout,
+		lg:     dlb.NewLedger(layout, c.Rank()),
+		cl:     kernel.NewCellLists(cfg.Grid, cfg.Shards),
+		dirty:  true,
+		colPop: make(map[int]int),
 	}
 	p.nbs = append(p.nbs, layout.T.UniqueNeighbors(c.Rank())...)
 	sort.Ints(p.nbs)
@@ -101,41 +102,75 @@ func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *p
 	return p
 }
 
-// run executes the whole simulation on this PE.
-func (p *pe) run(steps int, res *Result) {
+// init computes the step-0 state: bin, pull the halo, evaluate forces so
+// the first half kick has them, and (under Verify) record the global
+// particle count for conservation checks.
+func (p *pe) init() {
 	p.rebuild()
-	ghost := p.haloExchange()
-	p.computeForces(ghost)
+	p.haloExchange()
+	p.computeForces()
 	if p.cfg.Verify {
 		p.initN = p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
 	}
+}
 
+// oneStep advances this PE by time step number step (1-based, monotonic
+// across stepwise batches).
+func (p *pe) oneStep(step int, res *Result) {
 	dlbEvery := p.cfg.DLBEvery
 	if dlbEvery < 1 {
 		dlbEvery = 1
 	}
-	for step := 1; step <= steps; step++ {
-		t0 := time.Now()
-		p.moved = 0
-		if p.cfg.DLB && (step-1)%dlbEvery == 0 {
-			p.dlbStep()
-		}
-		integrator.HalfKick(&p.set, p.cfg.Dt)
-		integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
-		p.migrate()
-		p.rebuild()
-		ghost = p.haloExchange()
-		p.computeForces(ghost)
-		integrator.HalfKick(&p.set, p.cfg.Dt)
-		if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
-			p.rescale()
-		}
-		p.collectStats(step, time.Since(t0).Seconds(), res)
-		if p.cfg.Verify {
-			p.verifyStep(step)
-		}
+	t0 := time.Now()
+	p.moved = 0
+	if p.cfg.DLB && (step-1)%dlbEvery == 0 {
+		p.dlbStep()
 	}
+	integrator.HalfKick(&p.set, p.cfg.Dt)
+	integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
+	p.migrate()
+	p.rebuild()
+	p.haloExchange()
+	p.computeForces()
+	integrator.HalfKick(&p.set, p.cfg.Dt)
+	if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
+		p.rescale()
+	}
+	p.collectStats(step, time.Since(t0).Seconds(), res)
+	if p.cfg.Verify {
+		p.verifyStep(step)
+	}
+}
 
+// run executes the whole simulation on this PE.
+func (p *pe) run(steps int, res *Result) {
+	defer p.cl.Close()
+	p.init()
+	for step := 1; step <= steps; step++ {
+		p.oneStep(step, res)
+	}
+	p.gatherFinal(res)
+}
+
+// runStepwise executes the simulation in driver-commanded batches: each
+// value received on cmd is a batch size to advance by (negative = finish);
+// after each batch the PE reports on ack and goes idle. All ranks receive
+// the same command sequence, so the collectives inside a batch stay
+// aligned exactly as in run.
+func (p *pe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result) {
+	defer p.cl.Close()
+	p.init()
+	step := 0
+	for n := range cmd {
+		if n < 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			step++
+			p.oneStep(step, res)
+		}
+		ack <- struct{}{}
+	}
 	p.gatherFinal(res)
 }
 
@@ -226,12 +261,14 @@ func (p *pe) dlbStep() {
 	// me arrive.
 	if d.Col >= 0 {
 		p.moved = 1
+		p.dirty = true
 		out := p.extractColumn(d.Col)
 		p.send(d.Dest, tagTransfer, out, int64(len(out))*48)
 	}
 	for _, nb := range p.nbs {
 		nd := nbDecision[nb]
 		if nd.Col >= 0 && nd.Dest == p.c.Rank() {
+			p.dirty = true
 			in := p.c.Recv(nb, tagTransfer).([]particle.One)
 			for _, one := range in {
 				p.set.AddOne(one)
@@ -293,60 +330,48 @@ func (p *pe) migrate() {
 	}
 }
 
-// rebuild recomputes hosted cells, the cell map and the per-column census,
-// as the paper's programs do every time step.
+// rebuild re-bins the particles into the flat cell lists and recomputes the
+// per-column census; the cell-list topology (hosted set, stencils, ghost
+// slots) is only rebuilt when a DLB transfer changed the hosted columns.
 func (p *pe) rebuild() {
 	g := p.cfg.Grid
-	clear(p.hosted)
-	clear(p.cellMap)
-	clear(p.colPop)
-	for _, col := range p.lg.HostedColumns() {
-		p.colPop[col] = 0
-		for _, cell := range g.CellsInColumn(col, nil) {
-			p.hosted[cell] = true
-			p.cellMap[cell] = nil
+	if p.dirty {
+		p.cells = p.cells[:0]
+		for _, col := range p.lg.HostedColumns() {
+			p.cells = g.CellsInColumn(col, p.cells)
 		}
+		p.cl.SetHosted(p.cells)
+		p.dirty = false
 	}
-	for i := range p.set.Pos {
-		cell := g.CellOf(p.set.Pos[i])
-		if !p.hosted[cell] {
-			panic(fmt.Sprintf("core: rank %d holds particle %d in unhosted cell %d",
-				p.c.Rank(), p.set.ID[i], cell))
-		}
-		p.cellMap[cell] = append(p.cellMap[cell], i)
-		p.colPop[g.ColumnOf(cell)]++
+	if bad := p.cl.Bin(p.set.Pos); bad >= 0 {
+		panic(fmt.Sprintf("core: rank %d holds particle %d in unhosted cell %d",
+			p.c.Rank(), p.set.ID[bad], g.CellOf(p.set.Pos[bad])))
+	}
+	clear(p.colPop)
+	for s := 0; s < p.cl.NumHosted(); s++ {
+		p.colPop[g.ColumnOf(p.cl.SlotCell(s))] += p.cl.SlotLen(s)
 	}
 }
 
 // haloExchange pulls the particle positions of every unhosted cell adjacent
 // to a hosted cell from its current host (need-list protocol: one request
-// and one response message per neighbor).
-func (p *pe) haloExchange() map[int][]vec.V {
+// and one response message per neighbor) and stages them into the kernel's
+// ghost arena.
+func (p *pe) haloExchange() {
 	g := p.cfg.Grid
-	need := make(map[int][]int) // host -> cells
-	seen := make(map[int]bool)
-	var nbBuf []int
-	for cell := range p.hosted {
-		nbBuf = g.Neighbors26(cell, nbBuf[:0])
-		for _, nc := range nbBuf {
-			if p.hosted[nc] || seen[nc] {
-				continue
-			}
-			seen[nc] = true
-			host, err := p.lg.HostOf(g.ColumnOf(nc))
-			if err != nil {
-				panic(fmt.Sprintf("core: rank %d halo: %v", p.c.Rank(), err))
-			}
-			if !containsInt(p.nbs, host) {
-				panic(fmt.Sprintf("core: rank %d: halo cell %d hosted by non-neighbor %d", p.c.Rank(), nc, host))
-			}
-			need[host] = append(need[host], nc)
+	need := make(map[int][]int) // host -> cells (ascending: ghost list order)
+	for _, nc := range p.cl.GhostCells() {
+		host, err := p.lg.HostOf(g.ColumnOf(nc))
+		if err != nil {
+			panic(fmt.Sprintf("core: rank %d halo: %v", p.c.Rank(), err))
 		}
+		if !containsInt(p.nbs, host) {
+			panic(fmt.Sprintf("core: rank %d: halo cell %d hosted by non-neighbor %d", p.c.Rank(), nc, host))
+		}
+		need[host] = append(need[host], nc)
 	}
 	for _, nb := range p.nbs {
-		cells := need[nb]
-		sort.Ints(cells)
-		p.send(nb, tagNeed, cells, 0)
+		p.send(nb, tagNeed, need[nb], 0)
 	}
 	// Answer the neighbors' requests.
 	for _, nb := range p.nbs {
@@ -354,7 +379,7 @@ func (p *pe) haloExchange() map[int][]vec.V {
 		resp := make([]cellBlock, 0, len(req))
 		var bytes int64
 		for _, cell := range req {
-			idx, ok := p.cellMap[cell]
+			idx, ok := p.cl.CellParticles(cell)
 			if !ok {
 				panic(fmt.Sprintf("core: rank %d asked for cell %d it does not host (by %d)", p.c.Rank(), cell, nb))
 			}
@@ -367,21 +392,21 @@ func (p *pe) haloExchange() map[int][]vec.V {
 		}
 		p.send(nb, tagHalo, resp, bytes)
 	}
-	ghost := make(map[int][]vec.V)
+	p.cl.ClearGhosts()
 	for _, nb := range p.nbs {
 		for _, blk := range p.c.Recv(nb, tagHalo).([]cellBlock) {
-			ghost[blk.Cell] = blk.Pos
+			p.cl.StageGhost(blk.Cell, blk.Pos)
 		}
 	}
-	return ghost
+	p.cl.SealGhosts()
 }
 
 // computeForces evaluates the short-range forces over hosted cells via the
 // shared kernel and records this step's load under both metrics.
-func (p *pe) computeForces(ghost map[int][]vec.V) {
+func (p *pe) computeForces() {
 	p.set.ZeroForces()
 	t0 := time.Now()
-	potE, pairs := kernel.PairForces(p.cfg.Grid, p.cfg.Pair, &p.set, p.cellMap, p.hosted, ghost)
+	potE, _, pairs := p.cl.Compute(p.cfg.Pair, &p.set)
 	potE += kernel.ExternalForces(p.cfg.Ext, &p.set)
 	p.potE = potE
 	p.lastWall = time.Since(t0).Seconds()
@@ -402,8 +427,8 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		return
 	}
 	empty := 0
-	for _, idx := range p.cellMap {
-		if len(idx) == 0 {
+	for s := 0; s < p.cl.NumHosted(); s++ {
+		if p.cl.SlotLen(s) == 0 {
 			empty++
 		}
 	}
@@ -411,7 +436,7 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		Work:  p.lastWork,
 		Wall:  p.lastWall,
 		Step:  stepWall,
-		Cells: len(p.cellMap),
+		Cells: p.cl.NumHosted(),
 		Empty: empty,
 		Moved: p.moved,
 		PotE:  p.potE,
@@ -453,7 +478,9 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		st.Temperature = 2 * ke / (3 * float64(totalN))
 	}
 	st.Conc = conc.Compute(pes)
-	res.Stats = append(res.Stats, st)
+	if !p.cfg.DiscardStats {
+		res.Stats = append(res.Stats, st)
+	}
 	if p.cfg.OnStep != nil {
 		p.cfg.OnStep(st)
 	}

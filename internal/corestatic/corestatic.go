@@ -33,6 +33,9 @@ type Config struct {
 	// Tref and RescaleEvery configure the thermostat (0 disables).
 	Tref         float64
 	RescaleEvery int
+	// Shards is the per-PE force-kernel worker count (<= 1 = serial), as
+	// in core.Config.
+	Shards int
 
 	// Faults, Watchdog and InboxCap configure the comm chaos layer,
 	// exactly as in internal/core.Config.
@@ -72,10 +75,12 @@ type cellBlock struct {
 	Pos  []vec.V
 }
 
-// Run executes steps time steps on the given system.
-func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
+// setup validates cfg, applies defaults, and builds the decomposition and
+// comm world shared by Run and NewEngine. stepwise arms batch-scoped
+// progress tracking instead of relying on the whole-run watchdog.
+func setup(cfg *Config, stepwise bool) (*decomp.Decomposition, *comm.World, error) {
 	if cfg.Pair == nil || cfg.Dt <= 0 || cfg.Grid.NumCells() == 0 {
-		return nil, fmt.Errorf("corestatic: incomplete config")
+		return nil, nil, fmt.Errorf("corestatic: incomplete config")
 	}
 	if cfg.Ext == nil {
 		cfg.Ext = potential.NoField{}
@@ -93,7 +98,7 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 		err = fmt.Errorf("corestatic: unknown shape %v", cfg.Shape)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var opts []comm.Option
 	if cfg.InboxCap > 0 {
@@ -102,7 +107,19 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 	if cfg.Faults != nil {
 		opts = append(opts, comm.WithFaults(*cfg.Faults))
 	}
+	if stepwise && cfg.Watchdog > 0 {
+		opts = append(opts, comm.WithTracking())
+	}
 	world, err := comm.NewWorld(cfg.P, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, world, nil
+}
+
+// Run executes steps time steps on the given system.
+func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
+	d, world, err := setup(&cfg, false)
 	if err != nil {
 		return nil, err
 	}
@@ -129,9 +146,8 @@ type spe struct {
 	d   *decomp.Decomposition
 	nbs []int // neighbor ranks, ascending
 
-	set     particle.Set
-	owned   map[int]bool
-	cellMap map[int][]int
+	set particle.Set
+	cl  *kernel.CellLists
 
 	lastWork  float64
 	potE      float64
@@ -149,14 +165,12 @@ func (p *spe) send(dst, tag int, data any, size int64) {
 func newSPE(c *comm.Comm, cfg *Config, d *decomp.Decomposition, sys workload.System) *spe {
 	p := &spe{
 		c: c, cfg: cfg, d: d,
-		owned:   make(map[int]bool),
-		cellMap: make(map[int][]int),
+		cl: kernel.NewCellLists(cfg.Grid, cfg.Shards),
 	}
 	p.nbs = append(p.nbs, d.NeighborRanks(c.Rank())...)
 	sort.Ints(p.nbs)
-	for _, cell := range d.CellsOf(c.Rank()) {
-		p.owned[cell] = true
-	}
+	// The decomposition is static: the cell-list topology is built once.
+	p.cl.SetHosted(d.CellsOf(c.Rank()))
 	g := cfg.Grid
 	for i := range sys.Set.Pos {
 		if d.OwnerOf(g.CellOf(sys.Set.Pos[i])) == c.Rank() {
@@ -166,39 +180,60 @@ func newSPE(c *comm.Comm, cfg *Config, d *decomp.Decomposition, sys workload.Sys
 	return p
 }
 
-func (p *spe) run(steps int, res *Result) {
+func (p *spe) init() {
 	p.rebuild()
-	p.computeForces(p.haloExchange())
+	p.haloExchange()
+	p.computeForces()
+}
+
+func (p *spe) oneStep(step int, res *Result) {
+	integrator.HalfKick(&p.set, p.cfg.Dt)
+	integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
+	p.migrate()
+	p.rebuild()
+	p.haloExchange()
+	p.computeForces()
+	integrator.HalfKick(&p.set, p.cfg.Dt)
+	if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
+		ke := p.c.AllreduceFloat64(p.set.KineticEnergy(), comm.Sum)
+		n := p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
+		integrator.Rescale(&p.set, integrator.RescaleFactor(ke, int(n), p.cfg.Tref))
+	}
+	p.collectStats(step, res)
+}
+
+func (p *spe) run(steps int, res *Result) {
+	defer p.cl.Close()
+	p.init()
 	for step := 1; step <= steps; step++ {
-		integrator.HalfKick(&p.set, p.cfg.Dt)
-		integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
-		p.migrate()
-		p.rebuild()
-		p.computeForces(p.haloExchange())
-		integrator.HalfKick(&p.set, p.cfg.Dt)
-		if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
-			ke := p.c.AllreduceFloat64(p.set.KineticEnergy(), comm.Sum)
-			n := p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
-			integrator.Rescale(&p.set, integrator.RescaleFactor(ke, int(n), p.cfg.Tref))
+		p.oneStep(step, res)
+	}
+	p.gatherFinal(res)
+}
+
+// runStepwise is run under driver command, exactly as core's pe.runStepwise:
+// each value on cmd is a batch size (negative = finish), acked per batch.
+func (p *spe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result) {
+	defer p.cl.Close()
+	p.init()
+	step := 0
+	for n := range cmd {
+		if n < 0 {
+			break
 		}
-		p.collectStats(step, res)
+		for i := 0; i < n; i++ {
+			step++
+			p.oneStep(step, res)
+		}
+		ack <- struct{}{}
 	}
 	p.gatherFinal(res)
 }
 
 func (p *spe) rebuild() {
-	g := p.cfg.Grid
-	clear(p.cellMap)
-	for cell := range p.owned {
-		p.cellMap[cell] = nil
-	}
-	for i := range p.set.Pos {
-		cell := g.CellOf(p.set.Pos[i])
-		if !p.owned[cell] {
-			panic(fmt.Sprintf("corestatic: rank %d holds particle %d in foreign cell %d",
-				p.c.Rank(), p.set.ID[i], cell))
-		}
-		p.cellMap[cell] = append(p.cellMap[cell], i)
+	if bad := p.cl.Bin(p.set.Pos); bad >= 0 {
+		panic(fmt.Sprintf("corestatic: rank %d holds particle %d in foreign cell %d",
+			p.c.Rank(), p.set.ID[bad], p.cfg.Grid.CellOf(p.set.Pos[bad])))
 	}
 }
 
@@ -230,33 +265,21 @@ func (p *spe) migrate() {
 	}
 }
 
-func (p *spe) haloExchange() map[int][]vec.V {
-	g := p.cfg.Grid
+func (p *spe) haloExchange() {
 	need := make(map[int][]int)
-	seen := make(map[int]bool)
-	var nbBuf []int
-	for cell := range p.owned {
-		nbBuf = g.Neighbors26(cell, nbBuf[:0])
-		for _, nc := range nbBuf {
-			if p.owned[nc] || seen[nc] {
-				continue
-			}
-			seen[nc] = true
-			need[p.d.OwnerOf(nc)] = append(need[p.d.OwnerOf(nc)], nc)
-		}
+	for _, nc := range p.cl.GhostCells() {
+		need[p.d.OwnerOf(nc)] = append(need[p.d.OwnerOf(nc)], nc)
 	}
-	p.ghostSeen = len(seen)
+	p.ghostSeen = len(p.cl.GhostCells())
 	for _, nb := range p.nbs {
-		cells := need[nb]
-		sort.Ints(cells)
-		p.send(nb, tagNeed, cells, 0)
+		p.send(nb, tagNeed, need[nb], 0)
 	}
 	for _, nb := range p.nbs {
 		req := p.c.Recv(nb, tagNeed).([]int)
 		resp := make([]cellBlock, 0, len(req))
 		var bytes int64
 		for _, cell := range req {
-			idx, ok := p.cellMap[cell]
+			idx, ok := p.cl.CellParticles(cell)
 			if !ok {
 				panic(fmt.Sprintf("corestatic: rank %d asked for foreign cell %d", p.c.Rank(), cell))
 			}
@@ -269,18 +292,18 @@ func (p *spe) haloExchange() map[int][]vec.V {
 		}
 		p.send(nb, tagHalo, resp, bytes)
 	}
-	ghost := make(map[int][]vec.V)
+	p.cl.ClearGhosts()
 	for _, nb := range p.nbs {
 		for _, blk := range p.c.Recv(nb, tagHalo).([]cellBlock) {
-			ghost[blk.Cell] = blk.Pos
+			p.cl.StageGhost(blk.Cell, blk.Pos)
 		}
 	}
-	return ghost
+	p.cl.SealGhosts()
 }
 
-func (p *spe) computeForces(ghost map[int][]vec.V) {
+func (p *spe) computeForces() {
 	p.set.ZeroForces()
-	potE, pairs := kernel.PairForces(p.cfg.Grid, p.cfg.Pair, &p.set, p.cellMap, p.owned, ghost)
+	potE, _, pairs := p.cl.Compute(p.cfg.Pair, &p.set)
 	potE += kernel.ExternalForces(p.cfg.Ext, &p.set)
 	p.potE = potE
 	p.lastWork = float64(pairs)

@@ -1,0 +1,117 @@
+package corestatic
+
+import (
+	"fmt"
+
+	"permcell/internal/comm"
+	"permcell/internal/workload"
+)
+
+// Engine is the stepwise form of Run, mirroring core.Engine: the SPE
+// goroutines are spawned once and advanced in caller-controlled batches.
+// The per-step loop body is the same as Run's, so equal total step counts
+// produce bit-identical results. Not safe for concurrent use; Finish must
+// be called exactly once to release the goroutines.
+type Engine struct {
+	cfg     Config
+	world   *comm.World
+	res     *Result
+	cmd     []chan int
+	ack     chan struct{}
+	runDone chan struct{}
+	stepped int
+	err     error
+	done    bool
+}
+
+// NewEngine validates cfg, distributes sys and starts the SPE goroutines,
+// which compute the step-0 forces and then idle awaiting the first Step.
+// The input system is not modified.
+func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
+	d, world, err := setup(&cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		world:   world,
+		res:     &Result{},
+		cmd:     make([]chan int, cfg.P),
+		ack:     make(chan struct{}, cfg.P),
+		runDone: make(chan struct{}),
+	}
+	for i := range e.cmd {
+		e.cmd[i] = make(chan int, 1)
+	}
+	go func() {
+		defer close(e.runDone)
+		world.Run(func(c *comm.Comm) {
+			newSPE(c, &e.cfg, d, sys).runStepwise(e.cmd[c.Rank()], e.ack, e.res)
+		})
+	}()
+	return e, nil
+}
+
+// Step advances the simulation by n time steps and blocks until every SPE
+// has completed the batch. Under a positive cfg.Watchdog a communication
+// stall inside the batch returns a *comm.DeadlockError; the engine is then
+// unusable.
+func (e *Engine) Step(n int) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.done {
+		return fmt.Errorf("corestatic: Step after Finish")
+	}
+	if n < 0 {
+		return fmt.Errorf("corestatic: negative step count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	for _, ch := range e.cmd {
+		ch <- n
+	}
+	done := make(chan struct{})
+	go func() {
+		for range e.cmd {
+			<-e.ack
+		}
+		close(done)
+	}()
+	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+		e.err = err
+		return err
+	}
+	e.stepped += n
+	return nil
+}
+
+// Stepped returns the number of time steps advanced so far.
+func (e *Engine) Stepped() int { return e.stepped }
+
+// Stats returns the per-step records collected so far. The slice is live:
+// read it only between Step calls, while the SPEs are idle.
+func (e *Engine) Stats() []StepStats { return e.res.Stats }
+
+// Finish releases the SPE goroutines, gathers the final global state and
+// returns the completed Result.
+func (e *Engine) Finish() (*Result, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.done {
+		return e.res, nil
+	}
+	e.done = true
+	for _, ch := range e.cmd {
+		ch <- -1
+	}
+	if err := e.world.WatchSection(e.cfg.Watchdog, e.runDone); err != nil {
+		e.err = err
+		return nil, err
+	}
+	e.res.CommMsgs, e.res.CommBytes = e.world.Stats()
+	e.res.Faults = e.world.FaultStats()
+	return e.res, nil
+}

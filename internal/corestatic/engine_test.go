@@ -1,0 +1,61 @@
+package corestatic
+
+import (
+	"testing"
+
+	"permcell/internal/decomp"
+)
+
+// TestEngineMatchesRun drives the stepwise engine over uneven batches and
+// demands the exact Result the one-shot Run produces for the same total
+// step count.
+func TestEngineMatchesRun(t *testing.T) {
+	cases := []struct {
+		name  string
+		shape decomp.Shape
+		p     int
+	}{
+		{"plane", decomp.Plane, 8},
+		{"pillar", decomp.SquarePillar, 4},
+		{"cube", decomp.Cube, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys, g := testSystem(t, 8, 0.3, 51)
+			cfg := cfgFor(c.shape, c.p, g)
+			const steps = 8
+
+			ref, err := Run(cfg, sys, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewEngine(cfg, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range []int{2, 5, 1} {
+				if err := eng.Step(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := eng.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(res.Stats) != len(ref.Stats) {
+				t.Fatalf("stats length %d vs %d", len(res.Stats), len(ref.Stats))
+			}
+			for i := range ref.Stats {
+				if res.Stats[i] != ref.Stats[i] {
+					t.Fatalf("step %d stats diverged: %+v vs %+v", ref.Stats[i].Step, res.Stats[i], ref.Stats[i])
+				}
+			}
+			for i := range ref.Final.Pos {
+				if res.Final.Pos[i] != ref.Final.Pos[i] || res.Final.Vel[i] != ref.Final.Vel[i] {
+					t.Fatalf("particle %d state differs between stepwise and Run", ref.Final.ID[i])
+				}
+			}
+		})
+	}
+}

@@ -46,6 +46,9 @@ type RunSpec struct {
 	Hysteresis float64
 	// StatsEvery thins the per-step statistics (default 1).
 	StatsEvery int
+	// Shards is the per-PE force-kernel worker count (<= 1 = serial
+	// kernel). Traces are bit-deterministic per shard count.
+	Shards int
 	// Dt overrides the integration time step. Zero selects the experiment
 	// default of 0.005 reduced time units — a standard (stable) LJ step
 	// that reaches the paper's physical time span in ~50x fewer steps than
@@ -112,6 +115,8 @@ func (s RunSpec) Build() (core.Config, workload.System, SysInfo, error) {
 		DLB:           s.DLB,
 		DLBHysteresis: s.Hysteresis,
 		DLBPick:       dlb.PickMostLoaded,
+		Metric:        core.WorkCount,
+		Shards:        s.Shards,
 		StatsEvery:    s.StatsEvery,
 	}
 	if s.WellK > 0 {

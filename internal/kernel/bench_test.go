@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"testing"
+
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/workload"
+)
+
+// Benchmarks comparing the historical map-based kernel against the flat
+// CellLists kernel, per full step (re-bin + force pass). The map side
+// rebuilds its per-cell slices the way the engines' rebuild() did every
+// step: clear the map, re-register the hosted cells, append from scratch.
+
+// benchSystem builds the Tiny-preset m=3 box: nc = m*sqrt(P) = 6 cells of
+// side 2.5 per dimension, N = round(rho * L^3) = 1296 at rho = 0.384.
+func benchSystem(b *testing.B) (workload.System, space.Grid) {
+	b.Helper()
+	sys, err := workload.LatticeGas(1296, 0.384, 0.722, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := space.NewGrid(sys.Box, 2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g.Nx != 6 || g.Ny != 6 || g.Nz != 6 {
+		b.Fatalf("grid %dx%dx%d, want the Tiny 6x6x6", g.Nx, g.Ny, g.Nz)
+	}
+	return sys, g
+}
+
+func BenchmarkKernelMap(b *testing.B) {
+	sys, g := benchSystem(b)
+	lj := potential.NewPaperLJ()
+	cellMap := make(map[int][]int)
+	hosted := make(map[int]bool)
+	for c := 0; c < g.NumCells(); c++ {
+		hosted[c] = true
+		cellMap[c] = nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		clear(cellMap)
+		for c := 0; c < g.NumCells(); c++ {
+			cellMap[c] = nil
+		}
+		for i := range sys.Set.Pos {
+			c := g.CellOf(sys.Set.Pos[i])
+			cellMap[c] = append(cellMap[c], i)
+		}
+		sys.Set.ZeroForces()
+		mapPairForces(g, lj, sys.Set, cellMap, hosted, nil)
+	}
+}
+
+func benchmarkKernelFlat(b *testing.B, shards int) {
+	sys, g := benchSystem(b)
+	lj := potential.NewPaperLJ()
+	cells := make([]int, g.NumCells())
+	for c := range cells {
+		cells[c] = c
+	}
+	cl := NewCellLists(g, shards)
+	defer cl.Close()
+	cl.SetHosted(cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if bad := cl.Bin(sys.Set.Pos); bad >= 0 {
+			b.Fatal("bin failed")
+		}
+		sys.Set.ZeroForces()
+		cl.Compute(lj, sys.Set)
+	}
+}
+
+func BenchmarkKernelFlat(b *testing.B)        { benchmarkKernelFlat(b, 1) }
+func BenchmarkKernelFlatShards2(b *testing.B) { benchmarkKernelFlat(b, 2) }
+func BenchmarkKernelFlatShards8(b *testing.B) { benchmarkKernelFlat(b, 8) }

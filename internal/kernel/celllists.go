@@ -1,0 +1,569 @@
+package kernel
+
+import (
+	"fmt"
+	"slices"
+
+	"permcell/internal/particle"
+	"permcell/internal/potential"
+	"permcell/internal/space"
+	"permcell/internal/vec"
+)
+
+// CellLists is the flat, reusable scratch state behind the pair-force
+// kernel. It replaces the per-step map[int][]int cell map with dense
+// structures that are rebuilt into reused buffers, so the force path
+// performs zero heap allocations per step in steady state:
+//
+//   - a CSR cell list (Bin): hosted cells in ascending index order, each
+//     with the contiguous slice of its local particle indices;
+//   - a precomputed neighbor stencil per hosted cell (SetHosted): the
+//     Neighbors26 walk, with each neighbor resolved once to either a
+//     hosted-cell slot or a ghost-cell slot, rebuilt only when the hosted
+//     set changes (a DLB column move), not every step;
+//   - a flat ghost arena (StageGhost/SealGhosts): all imported positions in
+//     one slice, CSR-indexed by ghost slot.
+//
+// Determinism contract: hosted cells are visited in ascending cell index
+// order and each cell's stencil preserves the Neighbors26 order, so for a
+// given hosted set, particle assignment and shard count the floating-point
+// summation order — and therefore every bit of the result — is fixed. With
+// Shards == 1 the summation order is exactly that of the historical
+// map-based kernel, so single-shard results are bit-identical to it. With
+// S > 1 shards, hosted columns are dealt round-robin (in ascending column
+// order) to S workers; each shard accumulates forces and energy into its
+// own buffers, and the shard results are reduced in fixed shard order, so
+// runs are bit-reproducible for a given shard count (but differ between
+// shard counts, which is why the shard count is part of the run config and
+// the trace header).
+type CellLists struct {
+	g      space.Grid
+	shards int
+
+	// Hosted topology, rebuilt by SetHosted only.
+	cells      []int   // hosted cell ids, ascending
+	slotOf     []int32 // per grid cell: hosted slot s >= 0, ghost -2-gs, else -1
+	stencil    []int32 // >= 0: hosted slot (higher cell id); < 0: -1-ghostSlot
+	stShift    []vec.V // per stencil entry: the min-image round term (0 or +-L)
+	stStart    []int32 // CSR offsets into stencil, len(cells)+1
+	ghostCells []int   // unhosted neighbor cell ids, ascending
+	shardOf    []int32 // per hosted slot: worker shard
+	nbBuf      []int   // Neighbors26 scratch
+	useShift   bool    // all grid dims >= 4: stShift is exact, skip per-pair rounding
+
+	// Per-step particle CSR, rebuilt by Bin.
+	count []int32 // per-slot particle count; doubles as fill cursor
+	start []int32 // CSR offsets into part, len(cells)+1
+	part  []int32 // particle indices grouped by hosted cell
+	ppos  []vec.V // positions in part order (cache-friendly inner loops)
+
+	// Ghost arena, rebuilt by StageGhost/SealGhosts each step.
+	stage      []ghostStage
+	ghostStart []int32 // CSR offsets into ghostPos, len(ghostCells)+1
+	ghostPos   []vec.V
+
+	// Per-shard accumulators, reduced in fixed shard order.
+	pot []float64
+	vir []float64
+	prs []int64
+	frc [][]vec.V // used only when shards > 1
+
+	// Bounded worker pool (started lazily, only when shards > 1).
+	pair potential.Pair // current Compute target
+
+	running bool
+	startCh []chan struct{}
+	doneCh  chan struct{}
+}
+
+type ghostStage struct {
+	slot int32
+	pos  []vec.V
+}
+
+// wrapTerm returns the min-image round term Round(d/l)*l for displacements
+// from a particle in cell coordinate u (possibly out of [0, n)) to one in a
+// wrapped-adjacent cell: -l when the neighbor wrapped below zero, +l above,
+// else exactly +0.0. Valid when n >= 4 (see useShift).
+func wrapTerm(u, n int, l float64) float64 {
+	switch {
+	case u < 0:
+		return -l
+	case u >= n:
+		return l
+	}
+	return 0
+}
+
+// NewCellLists returns scratch state for grids of g's size using the given
+// worker shard count (values < 1 mean 1: the serial kernel). Call Close
+// when done if shards > 1, to stop the worker pool.
+func NewCellLists(g space.Grid, shards int) *CellLists {
+	if shards < 1 {
+		shards = 1
+	}
+	cl := &CellLists{g: g, shards: shards}
+	// With at least 4 cells per dimension, whether a neighbor-cell pair wraps
+	// around the box — and so the min-image round term Round(d/L)*L, exactly
+	// 0 or +-L — is fixed by the cell pair alone (particles live in half-open
+	// cells, so every |d| comparison against L/2 is strict). The stencil then
+	// carries the term and the kernel skips the per-pair divide-and-round,
+	// with bit-identical results.
+	cl.useShift = g.Nx >= 4 && g.Ny >= 4 && g.Nz >= 4
+	cl.slotOf = make([]int32, g.NumCells())
+	for i := range cl.slotOf {
+		cl.slotOf[i] = -1
+	}
+	cl.pot = make([]float64, shards)
+	cl.vir = make([]float64, shards)
+	cl.prs = make([]int64, shards)
+	if shards > 1 {
+		cl.frc = make([][]vec.V, shards)
+	}
+	return cl
+}
+
+// Shards returns the configured worker shard count.
+func (cl *CellLists) Shards() int { return cl.shards }
+
+// Grid returns the grid the lists were built for.
+func (cl *CellLists) Grid() space.Grid { return cl.g }
+
+// SetHosted rebuilds the hosted topology: the ascending hosted cell list,
+// the per-cell neighbor stencils, the ghost slot assignment and the shard
+// partition. Call it only when the hosted set changes (initialization or a
+// DLB column move); Bin and Compute reuse the result every step.
+func (cl *CellLists) SetHosted(cells []int) {
+	// Reset the previous topology in slotOf.
+	for _, c := range cl.cells {
+		cl.slotOf[c] = -1
+	}
+	for _, c := range cl.ghostCells {
+		cl.slotOf[c] = -1
+	}
+	cl.cells = append(cl.cells[:0], cells...)
+	slices.Sort(cl.cells)
+	for s, c := range cl.cells {
+		if s > 0 && c == cl.cells[s-1] {
+			panic(fmt.Sprintf("kernel: duplicate hosted cell %d", c))
+		}
+		cl.slotOf[c] = int32(s)
+	}
+
+	// Ghost cells: every unhosted neighbor of a hosted cell, ascending.
+	cl.ghostCells = cl.ghostCells[:0]
+	for _, c := range cl.cells {
+		cl.nbBuf = cl.g.Neighbors26(c, cl.nbBuf[:0])
+		for _, nc := range cl.nbBuf {
+			if cl.slotOf[nc] == -1 {
+				cl.slotOf[nc] = -2 // mark seen; slot assigned below
+				cl.ghostCells = append(cl.ghostCells, nc)
+			}
+		}
+	}
+	slices.Sort(cl.ghostCells)
+	for gs, c := range cl.ghostCells {
+		cl.slotOf[c] = -2 - int32(gs)
+	}
+
+	// Stencils: the Neighbors26 walk per hosted cell, each neighbor encoded
+	// as a hosted slot (kept only for higher cell ids — the pair is owned by
+	// the lower cell) or a ghost slot. Order within a cell is the
+	// Neighbors26 order (dz, dy, dx ascending, first occurrence kept), which
+	// fixes the summation order. The walk is replicated inline rather than
+	// taken from Neighbors26 so the wrap direction of each neighbor — and so
+	// its min-image round term — is known.
+	cl.stencil = cl.stencil[:0]
+	cl.stShift = cl.stShift[:0]
+	cl.stStart = append(cl.stStart[:0], 0)
+	g := cl.g
+	seen := make(map[int]bool, 27)
+	for _, c := range cl.cells {
+		ix, iy, iz := g.Coords(c)
+		clear(seen)
+		seen[c] = true
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 && dz == 0 {
+						continue
+					}
+					nc := g.CellOfCoords(ix+dx, iy+dy, iz+dz)
+					if seen[nc] {
+						continue
+					}
+					seen[nc] = true
+					v := cl.slotOf[nc]
+					if v >= 0 && nc <= c {
+						continue // hosted-hosted pair owned by the lower cell
+					}
+					if v < 0 {
+						v = -1 - (-2 - v) // ghost slot gs encoded as -1-gs
+					}
+					cl.stencil = append(cl.stencil, v)
+					cl.stShift = append(cl.stShift, vec.V{
+						X: wrapTerm(ix+dx, g.Nx, g.Box.L.X),
+						Y: wrapTerm(iy+dy, g.Ny, g.Box.L.Y),
+						Z: wrapTerm(iz+dz, g.Nz, g.Box.L.Z),
+					})
+				}
+			}
+		}
+		cl.stStart = append(cl.stStart, int32(len(cl.stencil)))
+	}
+
+	// Shard partition: hosted columns ascending, dealt round-robin. All
+	// cells of a column land on the same shard so a shard's work tracks the
+	// DLB's unit of transfer.
+	cl.shardOf = append(cl.shardOf[:0], make([]int32, len(cl.cells))...)
+	if cl.shards > 1 {
+		cols := cl.nbBuf[:0] // reuse as column scratch
+		for _, c := range cl.cells {
+			cols = append(cols, cl.g.ColumnOf(c))
+		}
+		uniq := append([]int(nil), cols...)
+		slices.Sort(uniq)
+		uniq = slices.Compact(uniq)
+		for i, c := range cl.cells {
+			rank, _ := slices.BinarySearch(uniq, cl.g.ColumnOf(c))
+			cl.shardOf[i] = int32(rank % cl.shards)
+		}
+		cl.nbBuf = cols[:0]
+	}
+
+	// Size the per-step CSR heads for the new topology.
+	cl.count = append(cl.count[:0], make([]int32, len(cl.cells))...)
+	cl.start = append(cl.start[:0], make([]int32, len(cl.cells)+1)...)
+	cl.ghostStart = append(cl.ghostStart[:0], make([]int32, len(cl.ghostCells)+1)...)
+	cl.stage = cl.stage[:0]
+	cl.ghostPos = cl.ghostPos[:0]
+}
+
+// NumHosted returns the number of hosted cells.
+func (cl *CellLists) NumHosted() int { return len(cl.cells) }
+
+// HostedCells returns the hosted cell ids, ascending. The slice is owned by
+// the CellLists; do not modify.
+func (cl *CellLists) HostedCells() []int { return cl.cells }
+
+// GhostCells returns the unhosted neighbor cells the kernel needs imported
+// positions for, ascending. The slice is owned by the CellLists.
+func (cl *CellLists) GhostCells() []int { return cl.ghostCells }
+
+// SlotCell returns the cell id of hosted slot s.
+func (cl *CellLists) SlotCell(s int) int { return cl.cells[s] }
+
+// SlotLen returns the particle count of hosted slot s after Bin.
+func (cl *CellLists) SlotLen(s int) int {
+	return int(cl.start[s+1] - cl.start[s])
+}
+
+// SlotParticles returns the local particle indices of hosted slot s after
+// Bin. The slice aliases internal storage valid until the next Bin.
+func (cl *CellLists) SlotParticles(s int) []int32 {
+	return cl.part[cl.start[s]:cl.start[s+1]]
+}
+
+// CellParticles returns the local particle indices of the given hosted cell
+// after Bin, or nil (and false) if the cell is not hosted.
+func (cl *CellLists) CellParticles(cell int) ([]int32, bool) {
+	v := cl.slotOf[cell]
+	if v < 0 {
+		return nil, false
+	}
+	return cl.SlotParticles(int(v)), true
+}
+
+// Bin rebuilds the CSR cell list from the given positions. Particle indices
+// within a cell are ascending (insertion order of the set). It returns -1
+// on success, or the index of the first particle that falls outside the
+// hosted set.
+func (cl *CellLists) Bin(pos []vec.V) int {
+	for i := range cl.count {
+		cl.count[i] = 0
+	}
+	for i := range pos {
+		v := cl.slotOf[cl.g.CellOf(pos[i])]
+		if v < 0 {
+			return i
+		}
+		cl.count[v]++
+	}
+	cl.start[0] = 0
+	for s, n := range cl.count {
+		cl.start[s+1] = cl.start[s] + n
+	}
+	if cap(cl.part) < len(pos) {
+		cl.part = make([]int32, len(pos))
+		cl.ppos = make([]vec.V, len(pos))
+	}
+	cl.part = cl.part[:len(pos)]
+	cl.ppos = cl.ppos[:len(pos)]
+	copy(cl.count, cl.start[:len(cl.count)]) // count becomes the fill cursor
+	for i := range pos {
+		v := cl.slotOf[cl.g.CellOf(pos[i])]
+		cl.part[cl.count[v]] = int32(i)
+		cl.ppos[cl.count[v]] = pos[i]
+		cl.count[v]++
+	}
+	return -1
+}
+
+// ClearGhosts discards the ghost arena ahead of a new halo exchange.
+func (cl *CellLists) ClearGhosts() {
+	cl.stage = cl.stage[:0]
+}
+
+// StageGhost records the imported positions of one ghost cell. Each ghost
+// cell has exactly one host and so must be staged at most once per step;
+// cells that are not in the ghost set are a protocol violation.
+func (cl *CellLists) StageGhost(cell int, pos []vec.V) {
+	v := cl.slotOf[cell]
+	if v >= -1 {
+		panic(fmt.Sprintf("kernel: cell %d staged as ghost but not in the ghost set", cell))
+	}
+	cl.stage = append(cl.stage, ghostStage{slot: -2 - v, pos: pos})
+}
+
+// SealGhosts builds the flat ghost arena from the staged cells: positions
+// land in ghost-slot (ascending cell id) order regardless of the order the
+// halo responses arrived in, which fixes the summation order. Unstaged
+// ghost cells are treated as empty.
+func (cl *CellLists) SealGhosts() {
+	slices.SortFunc(cl.stage, func(a, b ghostStage) int {
+		return int(a.slot) - int(b.slot)
+	})
+	cl.ghostPos = cl.ghostPos[:0]
+	si := 0
+	for gs := range cl.ghostCells {
+		cl.ghostStart[gs] = int32(len(cl.ghostPos))
+		for si < len(cl.stage) && cl.stage[si].slot == int32(gs) {
+			if si > 0 && cl.stage[si-1].slot == int32(gs) {
+				panic(fmt.Sprintf("kernel: ghost cell %d staged twice", cl.ghostCells[gs]))
+			}
+			cl.ghostPos = append(cl.ghostPos, cl.stage[si].pos...)
+			si++
+		}
+	}
+	cl.ghostStart[len(cl.ghostCells)] = int32(len(cl.ghostPos))
+	if si != len(cl.stage) {
+		panic("kernel: staged ghost cell with out-of-range slot")
+	}
+}
+
+// GhostLen returns the number of imported positions after SealGhosts.
+func (cl *CellLists) GhostLen() int { return len(cl.ghostPos) }
+
+// Compute accumulates short-range pair forces into s.Frc (which must be
+// zeroed by the caller) over the hosted cells and returns this domain's
+// share of the potential energy, the pair virial sum(f*r2) (ghost pairs
+// contribute half, like the energy), and the number of pair-distance
+// evaluations (the deterministic work metric). Pairs between two hosted
+// cells use Newton's third law; pairs against ghost positions are
+// evaluated one-sided with the energy and virial split half/half between
+// the two hosts.
+func (cl *CellLists) Compute(pair potential.Pair, s *particle.Set) (potE, virial float64, pairs int64) {
+	cl.pair = pair
+	if cl.shards == 1 {
+		cl.pot[0], cl.vir[0], cl.prs[0] = 0, 0, 0
+		cl.computeShard(0, s.Frc)
+		cl.pair = nil
+		return cl.pot[0], cl.vir[0], cl.prs[0]
+	}
+	for sh := 0; sh < cl.shards; sh++ {
+		cl.pot[sh], cl.vir[sh], cl.prs[sh] = 0, 0, 0
+		if cap(cl.frc[sh]) < len(s.Pos) {
+			cl.frc[sh] = make([]vec.V, len(s.Pos))
+		}
+		cl.frc[sh] = cl.frc[sh][:len(s.Pos)]
+		for i := range cl.frc[sh] {
+			cl.frc[sh][i] = vec.Zero
+		}
+	}
+	cl.ensurePool()
+	for sh := 0; sh < cl.shards; sh++ {
+		cl.startCh[sh] <- struct{}{}
+	}
+	for sh := 0; sh < cl.shards; sh++ {
+		<-cl.doneCh
+	}
+	// Fixed-order reduction: shard 0, 1, 2, ... for every particle and for
+	// the scalar accumulators, so the result is bit-reproducible for a
+	// given shard count.
+	for i := range s.Frc {
+		f := s.Frc[i]
+		for sh := 0; sh < cl.shards; sh++ {
+			f = f.Add(cl.frc[sh][i])
+		}
+		s.Frc[i] = f
+	}
+	for sh := 0; sh < cl.shards; sh++ {
+		potE += cl.pot[sh]
+		virial += cl.vir[sh]
+		pairs += cl.prs[sh]
+	}
+	cl.pair = nil
+	return potE, virial, pairs
+}
+
+// computeShard runs the kernel over the cells of one shard, accumulating
+// forces into frc and scalars into the shard's accumulator slots.
+func (cl *CellLists) computeShard(sh int, frc []vec.V) {
+	pair := cl.pair
+	lj, ljOK := pair.(*potential.LJ) // devirtualized (inlinable) hot call
+	rc2 := pair.Cutoff() * pair.Cutoff()
+	box := cl.g.Box
+	fast := cl.useShift
+	var potE, virial float64
+	var pairs int64
+	sharded := cl.shards > 1
+	for slot := range cl.cells {
+		if sharded && cl.shardOf[slot] != int32(sh) {
+			continue
+		}
+		lo, hi := cl.start[slot], cl.start[slot+1]
+		locals := cl.part[lo:hi]
+		lpos := cl.ppos[lo:hi]
+		// Intra-cell pairs. With >= 4 cells per dimension the direct
+		// difference is the minimum image (round term exactly zero).
+		for a := 0; a < len(locals); a++ {
+			i := locals[a]
+			pi := lpos[a]
+			fi := frc[i]
+			for b := a + 1; b < len(locals); b++ {
+				pairs++
+				d := pi.Sub(lpos[b])
+				if !fast {
+					d = box.MinImage(d)
+				}
+				r2 := d.Norm2()
+				if r2 >= rc2 || r2 == 0 {
+					continue
+				}
+				var en, f float64
+				if ljOK {
+					en, f = lj.EnergyForce(r2)
+				} else {
+					en, f = pair.EnergyForce(r2)
+				}
+				potE += en
+				virial += f * r2
+				fv := d.Scale(f)
+				fi = fi.Add(fv)
+				j := locals[b]
+				frc[j] = frc[j].Sub(fv)
+			}
+			frc[i] = fi
+		}
+		// Stencil neighbors, in Neighbors26 order.
+		st := cl.stencil[cl.stStart[slot]:cl.stStart[slot+1]]
+		shf := cl.stShift[cl.stStart[slot]:cl.stStart[slot+1]]
+		for k, e := range st {
+			term := shf[k]
+			if e >= 0 {
+				olo, ohi := cl.start[e], cl.start[e+1]
+				others := cl.part[olo:ohi]
+				opos := cl.ppos[olo:ohi]
+				for a, i := range locals {
+					pi := lpos[a]
+					fi := frc[i]
+					for b := range opos {
+						pairs++
+						var d vec.V
+						if fast {
+							q := opos[b]
+							d = vec.V{X: pi.X - q.X - term.X, Y: pi.Y - q.Y - term.Y, Z: pi.Z - q.Z - term.Z}
+						} else {
+							d = box.MinImage(pi.Sub(opos[b]))
+						}
+						r2 := d.Norm2()
+						if r2 >= rc2 || r2 == 0 {
+							continue
+						}
+						var en, f float64
+						if ljOK {
+							en, f = lj.EnergyForce(r2)
+						} else {
+							en, f = pair.EnergyForce(r2)
+						}
+						potE += en
+						virial += f * r2
+						fv := d.Scale(f)
+						fi = fi.Add(fv)
+						j := others[b]
+						frc[j] = frc[j].Sub(fv)
+					}
+					frc[i] = fi
+				}
+				continue
+			}
+			gs := int(-1 - e)
+			gpos := cl.ghostPos[cl.ghostStart[gs]:cl.ghostStart[gs+1]]
+			for a, i := range locals {
+				pi := lpos[a]
+				fi := frc[i]
+				for b := range gpos {
+					pairs++
+					var d vec.V
+					if fast {
+						q := gpos[b]
+						d = vec.V{X: pi.X - q.X - term.X, Y: pi.Y - q.Y - term.Y, Z: pi.Z - q.Z - term.Z}
+					} else {
+						d = box.MinImage(pi.Sub(gpos[b]))
+					}
+					r2 := d.Norm2()
+					if r2 >= rc2 || r2 == 0 {
+						continue
+					}
+					var en, f float64
+					if ljOK {
+						en, f = lj.EnergyForce(r2)
+					} else {
+						en, f = pair.EnergyForce(r2)
+					}
+					potE += en / 2
+					virial += f * r2 / 2
+					fi = fi.Add(d.Scale(f))
+				}
+				frc[i] = fi
+			}
+		}
+	}
+	cl.pot[sh] += potE
+	cl.vir[sh] += virial
+	cl.prs[sh] += pairs
+}
+
+// ensurePool starts the bounded worker pool (one goroutine per shard). The
+// pool is bounded by the shard count, lives for the CellLists' lifetime and
+// is fed over per-shard channels, so a Compute call performs no allocation.
+func (cl *CellLists) ensurePool() {
+	if cl.running {
+		return
+	}
+	cl.startCh = make([]chan struct{}, cl.shards)
+	cl.doneCh = make(chan struct{}, cl.shards)
+	for sh := range cl.startCh {
+		ch := make(chan struct{})
+		cl.startCh[sh] = ch
+		go func(sh int, ch chan struct{}) {
+			for range ch {
+				cl.computeShard(sh, cl.frc[sh])
+				cl.doneCh <- struct{}{}
+			}
+		}(sh, ch)
+	}
+	cl.running = true
+}
+
+// Close stops the worker pool. It is a no-op for shards == 1 or if the pool
+// was never started; the CellLists must not be used after Close.
+func (cl *CellLists) Close() {
+	if !cl.running {
+		return
+	}
+	for _, ch := range cl.startCh {
+		close(ch)
+	}
+	cl.running = false
+}

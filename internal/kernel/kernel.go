@@ -1,105 +1,19 @@
-// Package kernel holds the cell-list pair-force kernel shared by the
-// parallel engines (internal/core's DLB-capable engine and
-// internal/corestatic's static-shape engine). Pairs between two hosted
-// cells use Newton's third law; pairs against ghost cells are evaluated
-// one-sided, with the pair energy split half/half between the two hosts.
+// Package kernel holds the cell-list pair-force kernel shared by the MD
+// engines (internal/mdserial's serial engine, internal/core's DLB-capable
+// engine and internal/corestatic's static-shape engine). The kernel works
+// over flat, reusable CellLists scratch (see its type comment for the data
+// layout and the determinism contract); the historical map-based kernel is
+// retained in kernel_map_test.go as a cross-check oracle only.
+//
+// Pairs between two hosted cells use Newton's third law; pairs against
+// ghost cells are evaluated one-sided, with the pair energy (and virial)
+// split half/half between the two hosts.
 package kernel
 
 import (
-	"sort"
-
 	"permcell/internal/particle"
 	"permcell/internal/potential"
-	"permcell/internal/space"
-	"permcell/internal/vec"
 )
-
-// PairForces accumulates short-range pair forces into s.Frc (which must be
-// zeroed by the caller) over the hosted cells and returns this PE's share
-// of the potential energy and the number of pair evaluations performed (the
-// deterministic work metric). Cells are visited in ascending index order,
-// so the float summation order — and therefore the result — is
-// deterministic for a given cell assignment.
-func PairForces(
-	g space.Grid,
-	pair potential.Pair,
-	s *particle.Set,
-	cellMap map[int][]int,
-	hosted map[int]bool,
-	ghost map[int][]vec.V,
-) (potE float64, pairs int64) {
-	rc2 := pair.Cutoff() * pair.Cutoff()
-	box := g.Box
-
-	cells := make([]int, 0, len(cellMap))
-	for cell := range cellMap {
-		cells = append(cells, cell)
-	}
-	sort.Ints(cells)
-
-	var nbBuf []int
-	for _, cell := range cells {
-		locals := cellMap[cell]
-		// Intra-cell pairs.
-		for a := 0; a < len(locals); a++ {
-			i := locals[a]
-			for b := a + 1; b < len(locals); b++ {
-				j := locals[b]
-				pairs++
-				d := box.Displacement(s.Pos[i], s.Pos[j])
-				r2 := d.Norm2()
-				if r2 >= rc2 || r2 == 0 {
-					continue
-				}
-				en, f := pair.EnergyForce(r2)
-				potE += en
-				fv := d.Scale(f)
-				s.Frc[i] = s.Frc[i].Add(fv)
-				s.Frc[j] = s.Frc[j].Sub(fv)
-			}
-		}
-		nbBuf = g.Neighbors26(cell, nbBuf[:0])
-		for _, nc := range nbBuf {
-			if hosted[nc] {
-				if nc < cell {
-					continue // hosted-hosted pair handled from the lower cell
-				}
-				others := cellMap[nc]
-				for _, i := range locals {
-					for _, j := range others {
-						pairs++
-						d := box.Displacement(s.Pos[i], s.Pos[j])
-						r2 := d.Norm2()
-						if r2 >= rc2 || r2 == 0 {
-							continue
-						}
-						en, f := pair.EnergyForce(r2)
-						potE += en
-						fv := d.Scale(f)
-						s.Frc[i] = s.Frc[i].Add(fv)
-						s.Frc[j] = s.Frc[j].Sub(fv)
-					}
-				}
-				continue
-			}
-			gpos := ghost[nc]
-			for _, i := range locals {
-				for _, q := range gpos {
-					pairs++
-					d := box.Displacement(s.Pos[i], q)
-					r2 := d.Norm2()
-					if r2 >= rc2 || r2 == 0 {
-						continue
-					}
-					en, f := pair.EnergyForce(r2)
-					potE += en / 2
-					s.Frc[i] = s.Frc[i].Add(d.Scale(f))
-				}
-			}
-		}
-	}
-	return potE, pairs
-}
 
 // ExternalForces adds a one-body field to s.Frc and returns its energy.
 func ExternalForces(ext potential.External, s *particle.Set) float64 {

@@ -6,6 +6,7 @@ import (
 
 	"permcell/internal/particle"
 	"permcell/internal/potential"
+	"permcell/internal/rng"
 	"permcell/internal/space"
 	"permcell/internal/vec"
 	"permcell/internal/workload"
@@ -46,6 +47,8 @@ func setup(t *testing.T) (workload.System, space.Grid) {
 	return sys, g
 }
 
+// buildMaps assembles the map-kernel inputs for the subset of cells chosen
+// by hostedPred, exactly as the engines used to.
 func buildMaps(g space.Grid, s *particle.Set, hostedPred func(cell int) bool) (cellMap map[int][]int, hosted map[int]bool) {
 	cellMap = make(map[int][]int)
 	hosted = make(map[int]bool)
@@ -64,34 +67,76 @@ func buildMaps(g space.Grid, s *particle.Set, hostedPred func(cell int) bool) (c
 	return cellMap, hosted
 }
 
-func TestPairForcesAllHostedMatchesBruteForce(t *testing.T) {
+// buildFlat assembles a ready-to-Compute CellLists for the hosted subset,
+// importing every ghost cell's positions from the global system.
+func buildFlat(t *testing.T, g space.Grid, shards int, local *particle.Set, global []vec.V, hostedPred func(cell int) bool) *CellLists {
+	t.Helper()
+	var cells []int
+	for c := 0; c < g.NumCells(); c++ {
+		if hostedPred(c) {
+			cells = append(cells, c)
+		}
+	}
+	cl := NewCellLists(g, shards)
+	t.Cleanup(cl.Close)
+	cl.SetHosted(cells)
+	if bad := cl.Bin(local.Pos); bad >= 0 {
+		t.Fatalf("particle %d outside hosted set", bad)
+	}
+	byCell := make(map[int][]vec.V)
+	for _, p := range global {
+		byCell[g.CellOf(p)] = append(byCell[g.CellOf(p)], p)
+	}
+	cl.ClearGhosts()
+	for _, gc := range cl.GhostCells() {
+		cl.StageGhost(gc, byCell[gc])
+	}
+	cl.SealGhosts()
+	return cl
+}
+
+// localSubset extracts the particles of the hosted cells, preserving global
+// order, and returns the local set plus global->local index map.
+func localSubset(g space.Grid, sys *particle.Set, hostedPred func(cell int) bool) (*particle.Set, map[int]int) {
+	local := &particle.Set{}
+	idxOf := map[int]int{}
+	for i := range sys.Pos {
+		if hostedPred(g.CellOf(sys.Pos[i])) {
+			idxOf[i] = local.Add(sys.ID[i], sys.Pos[i], sys.Vel[i])
+		}
+	}
+	return local, idxOf
+}
+
+func TestFlatAllHostedMatchesBruteForce(t *testing.T) {
 	sys, g := setup(t)
 	lj := potential.NewPaperLJ()
-	// Jiggle off the lattice so forces are nonzero: shift alternating
-	// particles slightly.
+	// Jiggle off the lattice so forces are nonzero.
 	for i := range sys.Set.Pos {
 		if i%2 == 0 {
 			sys.Set.Pos[i] = g.Box.Wrap(sys.Set.Pos[i].Add(vec.New(0.1, -0.07, 0.05)))
 		}
 	}
-	cellMap, hosted := buildMaps(g, sys.Set, func(int) bool { return true })
-	sys.Set.ZeroForces()
-	pot, pairs := PairForces(g, lj, sys.Set, cellMap, hosted, nil)
-	if pairs <= 0 {
-		t.Fatal("no pairs evaluated")
-	}
-	wantFrc, wantPot := bruteForce(g.Box, lj, sys.Set.Pos)
-	if math.Abs(pot-wantPot) > 1e-9*(1+math.Abs(wantPot)) {
-		t.Errorf("pot = %v, want %v", pot, wantPot)
-	}
-	for i := range wantFrc {
-		if wantFrc[i].Dist(sys.Set.Frc[i]) > 1e-9*(1+wantFrc[i].Norm()) {
-			t.Fatalf("force %d mismatch", i)
+	for _, shards := range []int{1, 2, 8} {
+		cl := buildFlat(t, g, shards, sys.Set, nil, func(int) bool { return true })
+		sys.Set.ZeroForces()
+		pot, _, pairs := cl.Compute(lj, sys.Set)
+		if pairs <= 0 {
+			t.Fatal("no pairs evaluated")
+		}
+		wantFrc, wantPot := bruteForce(g.Box, lj, sys.Set.Pos)
+		if math.Abs(pot-wantPot) > 1e-9*(1+math.Abs(wantPot)) {
+			t.Errorf("shards=%d: pot = %v, want %v", shards, pot, wantPot)
+		}
+		for i := range wantFrc {
+			if wantFrc[i].Dist(sys.Set.Frc[i]) > 1e-9*(1+wantFrc[i].Norm()) {
+				t.Fatalf("shards=%d: force %d mismatch", shards, i)
+			}
 		}
 	}
 }
 
-func TestPairForcesGhostSplit(t *testing.T) {
+func TestFlatGhostSplitMatchesBruteForce(t *testing.T) {
 	// Split the box into two hosts at a cell boundary; each side computes
 	// with the other side's particles as ghosts. Summed energies must equal
 	// the brute-force total, and each local particle's force must match.
@@ -102,20 +147,58 @@ func TestPairForcesGhostSplit(t *testing.T) {
 	half := g.Nx / 2
 	inA := func(cell int) bool { ix, _, _ := g.Coords(cell); return ix < half }
 
-	var totalPot float64
-	for side := 0; side < 2; side++ {
-		pred := inA
-		if side == 1 {
-			pred = func(cell int) bool { return !inA(cell) }
-		}
-		// Local set: only particles in hosted cells; ghosts from the rest.
-		local := &particle.Set{}
-		idxOf := map[int]int{} // global particle index -> local index
-		for i := range sys.Set.Pos {
-			if pred(g.CellOf(sys.Set.Pos[i])) {
-				idxOf[i] = local.Add(sys.Set.ID[i], sys.Set.Pos[i], sys.Set.Vel[i])
+	for _, shards := range []int{1, 2, 8} {
+		var totalPot float64
+		for side := 0; side < 2; side++ {
+			pred := inA
+			if side == 1 {
+				pred = func(cell int) bool { return !inA(cell) }
+			}
+			local, idxOf := localSubset(g, sys.Set, pred)
+			cl := buildFlat(t, g, shards, local, sys.Set.Pos, pred)
+			local.ZeroForces()
+			pot, _, _ := cl.Compute(lj, local)
+			totalPot += pot
+			for gi, li := range idxOf {
+				if wantFrc[gi].Dist(local.Frc[li]) > 1e-9*(1+wantFrc[gi].Norm()) {
+					t.Fatalf("shards=%d side %d: particle %d force mismatch", shards, side, gi)
+				}
 			}
 		}
+		if math.Abs(totalPot-wantPot) > 1e-9*(1+math.Abs(wantPot)) {
+			t.Errorf("shards=%d: summed pot = %v, want %v", shards, totalPot, wantPot)
+		}
+	}
+}
+
+// TestFlatMatchesMapKernel cross-checks the flat kernel against the
+// historical map-based kernel on randomized configurations — random hosted
+// column subsets (so hosted regions have ragged ghost boundaries and empty
+// cells) with the rest of the system imported as ghosts. Shard count 1 must
+// reproduce the map kernel bit for bit (identical summation order, the
+// property the golden experiment traces rely on); shard counts 2 and 8 must
+// agree to rounding and produce the identical pair count.
+func TestFlatMatchesMapKernel(t *testing.T) {
+	sys, g := setup(t)
+	lj := potential.NewPaperLJ()
+	r := rng.New(7)
+	for trial := 0; trial < 6; trial++ {
+		// Jiggle positions fresh each trial.
+		for i := range sys.Set.Pos {
+			sys.Set.Pos[i] = g.Box.Wrap(sys.Set.Pos[i].Add(vec.New(
+				0.4*(r.Float64()-0.5), 0.4*(r.Float64()-0.5), 0.4*(r.Float64()-0.5))))
+		}
+		// Random hosted column subset (always at least one column).
+		hostedCols := make(map[int]bool)
+		for col := 0; col < g.NumColumns(); col++ {
+			if r.Float64() < 0.4 {
+				hostedCols[col] = true
+			}
+		}
+		hostedCols[r.Intn(g.NumColumns())] = true
+		pred := func(cell int) bool { return hostedCols[g.ColumnOf(cell)] }
+
+		local, _ := localSubset(g, sys.Set, pred)
 		cellMap, hosted := buildMaps(g, local, pred)
 		ghost := make(map[int][]vec.V)
 		for i := range sys.Set.Pos {
@@ -124,17 +207,124 @@ func TestPairForcesGhostSplit(t *testing.T) {
 				ghost[c] = append(ghost[c], sys.Set.Pos[i])
 			}
 		}
-		local.ZeroForces()
-		pot, _ := PairForces(g, lj, local, cellMap, hosted, ghost)
-		totalPot += pot
-		for gi, li := range idxOf {
-			if wantFrc[gi].Dist(local.Frc[li]) > 1e-9*(1+wantFrc[gi].Norm()) {
-				t.Fatalf("side %d: particle %d force mismatch", side, gi)
+		ref := local.Clone()
+		ref.ZeroForces()
+		wantPot, wantPairs := mapPairForces(g, lj, ref, cellMap, hosted, ghost)
+
+		for _, shards := range []int{1, 2, 8} {
+			got := local.Clone()
+			got.ZeroForces()
+			cl := buildFlat(t, g, shards, got, sys.Set.Pos, pred)
+			pot, _, pairs := cl.Compute(lj, got)
+			if pairs != wantPairs {
+				t.Fatalf("trial %d shards=%d: pairs = %d, want %d", trial, shards, pairs, wantPairs)
+			}
+			if shards == 1 {
+				// Bit-exact: identical summation order by construction.
+				if math.Float64bits(pot) != math.Float64bits(wantPot) {
+					t.Fatalf("trial %d: pot bits differ: %v vs %v", trial, pot, wantPot)
+				}
+				for i := range ref.Frc {
+					if got.Frc[i] != ref.Frc[i] {
+						t.Fatalf("trial %d: force %d bits differ: %v vs %v", trial, i, got.Frc[i], ref.Frc[i])
+					}
+				}
+			} else {
+				if math.Abs(pot-wantPot) > 1e-9*(1+math.Abs(wantPot)) {
+					t.Fatalf("trial %d shards=%d: pot = %v, want %v", trial, shards, pot, wantPot)
+				}
+				for i := range ref.Frc {
+					if got.Frc[i].Dist(ref.Frc[i]) > 1e-9*(1+ref.Frc[i].Norm()) {
+						t.Fatalf("trial %d shards=%d: force %d mismatch", trial, shards, i)
+					}
+				}
 			}
 		}
 	}
-	if math.Abs(totalPot-wantPot) > 1e-9*(1+math.Abs(wantPot)) {
-		t.Errorf("summed pot = %v, want %v", totalPot, wantPot)
+}
+
+// TestFlatShardDeterminism pins the determinism contract: the same shard
+// count twice gives bit-identical results.
+func TestFlatShardDeterminism(t *testing.T) {
+	sys, g := setup(t)
+	lj := potential.NewPaperLJ()
+	for i := range sys.Set.Pos {
+		sys.Set.Pos[i] = g.Box.Wrap(sys.Set.Pos[i].Add(vec.New(0.11, -0.03, 0.07)))
+	}
+	for _, shards := range []int{2, 8} {
+		var pots [2]float64
+		var frcs [2][]vec.V
+		for rep := 0; rep < 2; rep++ {
+			s := sys.Set.Clone()
+			s.ZeroForces()
+			cl := buildFlat(t, g, shards, s, nil, func(int) bool { return true })
+			pots[rep], _, _ = cl.Compute(lj, s)
+			frcs[rep] = append([]vec.V(nil), s.Frc...)
+		}
+		if math.Float64bits(pots[0]) != math.Float64bits(pots[1]) {
+			t.Fatalf("shards=%d: energy not reproducible", shards)
+		}
+		for i := range frcs[0] {
+			if frcs[0][i] != frcs[1][i] {
+				t.Fatalf("shards=%d: force %d not reproducible", shards, i)
+			}
+		}
+	}
+}
+
+// TestFlatEmpty covers empty-cell and empty-system edge cases.
+func TestFlatEmpty(t *testing.T) {
+	sys, g := setup(t)
+	lj := potential.NewPaperLJ()
+	empty := &particle.Set{}
+	cl := buildFlat(t, g, 2, empty, sys.Set.Pos, func(cell int) bool {
+		ix, _, _ := g.Coords(cell)
+		return ix == 0
+	})
+	pot, vir, pairs := cl.Compute(lj, empty)
+	if pot != 0 || vir != 0 || pairs != 0 {
+		t.Fatalf("empty local set computed pot=%v vir=%v pairs=%d", pot, vir, pairs)
+	}
+	if cl.GhostLen() == 0 {
+		t.Fatal("ghost arena empty despite imported neighbors")
+	}
+}
+
+// TestZeroAllocSteadyState is the CI gate for the kernel's allocation
+// contract: after warm-up, a full per-step cycle — Bin, ghost staging and
+// sealing, Compute — performs zero heap allocations, for the serial kernel
+// and for a sharded one.
+func TestZeroAllocSteadyState(t *testing.T) {
+	sys, g := setup(t)
+	lj := potential.NewPaperLJ()
+	half := g.Nx / 2
+	pred := func(cell int) bool { ix, _, _ := g.Coords(cell); return ix < half }
+	local, _ := localSubset(g, sys.Set, pred)
+	byCell := make(map[int][]vec.V)
+	for i := range sys.Set.Pos {
+		c := g.CellOf(sys.Set.Pos[i])
+		byCell[c] = append(byCell[c], sys.Set.Pos[i])
+	}
+	for _, shards := range []int{1, 4} {
+		cl := buildFlat(t, g, shards, local, sys.Set.Pos, pred)
+		step := func() {
+			if bad := cl.Bin(local.Pos); bad >= 0 {
+				t.Fatal("bin failed")
+			}
+			cl.ClearGhosts()
+			for _, gc := range cl.GhostCells() {
+				cl.StageGhost(gc, byCell[gc])
+			}
+			cl.SealGhosts()
+			local.ZeroForces()
+			cl.Compute(lj, local)
+		}
+		for i := 0; i < 3; i++ {
+			step() // warm-up: buffer growth, worker pool start
+		}
+		if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+			t.Errorf("shards=%d: %v allocs per step, want 0", shards, allocs)
+		}
 	}
 }
 

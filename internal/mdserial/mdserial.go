@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"permcell/internal/integrator"
+	"permcell/internal/kernel"
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
@@ -34,6 +35,10 @@ type Config struct {
 	// Grid optionally fixes the cell grid. When zero-valued, the finest
 	// grid with cell side >= the pair cut-off is used.
 	Grid space.Grid
+	// Shards is the force-kernel worker count (<= 1 = serial kernel).
+	// Results are bit-deterministic per shard count. Engines with
+	// Shards > 1 must be Closed to stop the worker pool.
+	Shards int
 }
 
 // Engine advances a particle set through time.
@@ -42,9 +47,8 @@ type Engine struct {
 	grid space.Grid
 	set  *particle.Set
 
-	cells   [][]int // cell index -> local particle indices
-	nbCache [][]int // cell index -> neighbor cells with higher index
-	step    int
+	cl   *kernel.CellLists // flat cell lists + force kernel scratch
+	step int
 
 	potE      float64
 	virial    float64
@@ -72,19 +76,22 @@ func New(cfg Config, set *particle.Set) (*Engine, error) {
 		}
 	}
 	e := &Engine{cfg: cfg, grid: g, set: set}
-	e.cells = make([][]int, g.NumCells())
-	e.nbCache = make([][]int, g.NumCells())
-	for c := range e.nbCache {
-		for _, nb := range g.Neighbors26(c, nil) {
-			if nb > c {
-				e.nbCache[c] = append(e.nbCache[c], nb)
-			}
-		}
+	e.cl = kernel.NewCellLists(g, cfg.Shards)
+	// Serial engine: every cell is hosted, no ghosts.
+	all := make([]int, g.NumCells())
+	for c := range all {
+		all[c] = c
 	}
+	e.cl.SetHosted(all)
+	e.cl.SealGhosts()
 	e.rebuildCells()
 	e.computeForces()
 	return e, nil
 }
+
+// Close stops the force-kernel worker pool (a no-op for Shards <= 1). The
+// engine must not be stepped after Close.
+func (e *Engine) Close() { e.cl.Close() }
 
 // Set returns the engine's particle set.
 func (e *Engine) Set() *particle.Set { return e.set }
@@ -124,8 +131,8 @@ func (e *Engine) Pressure() float64 {
 // concentration analysis of Section 4.
 func (e *Engine) CellOccupancy() []int {
 	occ := make([]int, e.grid.NumCells())
-	for c, ps := range e.cells {
-		occ[c] = len(ps)
+	for c := range occ {
+		occ[c] = e.cl.SlotLen(c) // all cells hosted: slot index == cell index
 	}
 	return occ
 }
@@ -133,77 +140,17 @@ func (e *Engine) CellOccupancy() []int {
 // rebuildCells recomputes the cell membership of every particle, as the
 // paper does every time step.
 func (e *Engine) rebuildCells() {
-	for c := range e.cells {
-		e.cells[c] = e.cells[c][:0]
-	}
-	for i, p := range e.set.Pos {
-		c := e.grid.CellOf(p)
-		e.cells[c] = append(e.cells[c], i)
-	}
+	e.cl.Bin(e.set.Pos) // cannot fail: every cell is hosted
 }
 
 // computeForces evaluates the truncated pair potential over every pair of
-// particles in the same or neighboring cells, plus the external field.
+// particles in the same or neighboring cells (via the shared flat-cell-list
+// kernel), plus the external field.
 func (e *Engine) computeForces() {
 	s := e.set
 	s.ZeroForces()
-	e.potE = 0
-	e.virial = 0
-	e.pairCount = 0
-	rc2 := e.cfg.Pair.Cutoff() * e.cfg.Pair.Cutoff()
-	box := e.cfg.Box
-
-	for c, ps := range e.cells {
-		// Intra-cell pairs.
-		for a := 0; a < len(ps); a++ {
-			i := ps[a]
-			for b := a + 1; b < len(ps); b++ {
-				j := ps[b]
-				e.pairCount++
-				d := box.Displacement(s.Pos[i], s.Pos[j])
-				r2 := d.Norm2()
-				if r2 >= rc2 || r2 == 0 {
-					continue
-				}
-				en, f := e.cfg.Pair.EnergyForce(r2)
-				e.potE += en
-				e.virial += f * r2
-				fv := d.Scale(f)
-				s.Frc[i] = s.Frc[i].Add(fv)
-				s.Frc[j] = s.Frc[j].Sub(fv)
-			}
-		}
-		// Cross pairs with higher-index neighbor cells (each unordered cell
-		// pair visited once).
-		for _, nc := range e.nbCache[c] {
-			qs := e.cells[nc]
-			for _, i := range ps {
-				for _, j := range qs {
-					e.pairCount++
-					d := box.Displacement(s.Pos[i], s.Pos[j])
-					r2 := d.Norm2()
-					if r2 >= rc2 || r2 == 0 {
-						continue
-					}
-					en, f := e.cfg.Pair.EnergyForce(r2)
-					e.potE += en
-					e.virial += f * r2
-					fv := d.Scale(f)
-					s.Frc[i] = s.Frc[i].Add(fv)
-					s.Frc[j] = s.Frc[j].Sub(fv)
-				}
-			}
-		}
-	}
-
-	// External field.
-	if _, isNone := e.cfg.Ext.(potential.NoField); !isNone {
-		for i, p := range s.Pos {
-			en, f := e.cfg.Ext.EnergyForce(p)
-			e.potE += en
-			s.Frc[i] = s.Frc[i].Add(f)
-		}
-	}
+	e.potE, e.virial, e.pairCount = e.cl.Compute(e.cfg.Pair, s)
+	e.potE += kernel.ExternalForces(e.cfg.Ext, s)
 }
 
 // Step advances the simulation one velocity-Verlet time step.

@@ -1,0 +1,102 @@
+package permcell
+
+import (
+	"time"
+
+	"permcell/internal/comm"
+)
+
+// FaultPlan re-exports the deterministic communication fault-injection
+// plan of the chaos layer (see internal/comm): latency jitter, bounded
+// reordering, transient send failures and scripted PE stalls, all drawn
+// from seeded RNG streams so faulty runs replay bit for bit.
+type FaultPlan = comm.FaultPlan
+
+// Stall is one scripted PE stall inside a FaultPlan.
+type Stall = comm.Stall
+
+// DeadlockError is returned when the watchdog detects a communication
+// stall; it carries a per-rank state dump.
+type DeadlockError = comm.DeadlockError
+
+// Options collects the run parameters beyond the paper coordinates
+// (m, P, rho). Construct it only through Option values passed to New,
+// NewSerial, NewStatic or Run; the zero value of every field selects the
+// documented default.
+type Options struct {
+	dlb        bool
+	wells      int
+	wellK      float64
+	hysteresis float64
+	shards     int
+	seed       uint64
+	dt         float64
+	statsEvery int
+	onStep     func(StepStats)
+	discard    bool
+	faults     *FaultPlan
+	watchdog   time.Duration
+}
+
+// Option mutates an Options.
+type Option func(*Options)
+
+func buildOptions(opts []Option) Options {
+	o := Options{seed: 1, statsEvery: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithDLB enables permanent-cell dynamic load balancing (plain static DDM
+// otherwise). Ignored by the serial and static engines.
+func WithDLB() Option { return func(o *Options) { o.dlb = true } }
+
+// WithWells adds n harmonic attractor sites of strength k to drive
+// condensation (the experiments' accelerated-physics substitution; see
+// DESIGN.md). n <= 1 with k > 0 places a single central well.
+func WithWells(n int, k float64) Option {
+	return func(o *Options) { o.wells, o.wellK = n, k }
+}
+
+// WithHysteresis sets the DLB trigger threshold: the relative load gap a
+// neighbor must exceed before a column moves (0 = paper-literal).
+func WithHysteresis(h float64) Option { return func(o *Options) { o.hysteresis = h } }
+
+// WithShards sets the per-PE force-kernel worker count (<= 1 = serial
+// kernel). Results are bit-deterministic for a given shard count but
+// differ between shard counts, so the value is part of the run identity.
+func WithShards(n int) Option { return func(o *Options) { o.shards = n } }
+
+// WithSeed seeds the initial condition (and the fault plan derivations).
+// The default is 1.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.seed = seed } }
+
+// WithDt overrides the integration time step. Zero keeps the default of
+// 0.005 reduced time units; PaperTimeStep selects the paper's literal 1e-4.
+func WithDt(dt float64) Option { return func(o *Options) { o.dt = dt } }
+
+// WithStatsEvery thins the per-step statistics to every k-th step
+// (default 1; the global concentration census costs one small allgather).
+func WithStatsEvery(k int) Option { return func(o *Options) { o.statsEvery = k } }
+
+// WithOnStep streams each step's statistics to fn as the run progresses.
+// For the parallel engines fn runs on rank 0's goroutine and must not call
+// back into the engine.
+func WithOnStep(fn func(StepStats)) Option { return func(o *Options) { o.onStep = fn } }
+
+// WithDiscardStats drops per-step records after the OnStep hook has seen
+// them, keeping long streaming runs O(1) in memory.
+func WithDiscardStats() Option { return func(o *Options) { o.discard = true } }
+
+// WithFaultPlan runs all communication under the given deterministic
+// fault-injection plan. Serial engines ignore it.
+func WithFaultPlan(plan FaultPlan) Option {
+	return func(o *Options) { o.faults = &plan }
+}
+
+// WithWatchdog arms the deadlock watchdog: a communication stall longer
+// than d returns a *DeadlockError instead of hanging. Serial engines
+// ignore it.
+func WithWatchdog(d time.Duration) Option { return func(o *Options) { o.watchdog = d } }

@@ -6,6 +6,7 @@ package permcell
 // reaching into internal/.
 
 import (
+	"context"
 	"fmt"
 
 	"permcell/internal/core"
@@ -16,6 +17,11 @@ import (
 )
 
 // Sim describes one parallel MD simulation in the paper's coordinates.
+//
+// Deprecated: Sim is the original config-struct facade, kept as a thin
+// shim over the Options API. New code should call New or Run with Option
+// values; Sim.Run produces bit-identical results to the equivalent
+// Run(ctx, m, p, rho, steps, opts...) call.
 type Sim struct {
 	// M is the square-pillar cross-section size (columns per PE side),
 	// m >= 2.
@@ -54,17 +60,22 @@ type Result = core.Result
 
 // Run executes the simulation and returns its statistics and final state.
 func (s Sim) Run() (*Result, error) {
+	return Run(context.Background(), s.M, s.P, s.Rho, s.Steps, s.options()...)
+}
+
+// options translates the legacy struct fields to the Options API,
+// preserving the historical defaults (WellK 1.5 when wells are requested
+// without a strength).
+func (s Sim) options() []Option {
 	wellK := s.WellK
 	if s.Wells > 0 && wellK == 0 {
 		wellK = 1.5
 	}
-	spec := experiments.RunSpec{
-		M: s.M, P: s.P, Rho: s.Rho, Steps: s.Steps, DLB: s.DLB,
-		Seed: s.Seed, Dt: s.Dt, Wells: s.Wells, WellK: wellK,
-		Hysteresis: s.Hysteresis, StatsEvery: 1,
+	opts := []Option{WithSeed(s.Seed), WithDt(s.Dt), WithHysteresis(s.Hysteresis), WithWells(s.Wells, wellK)}
+	if s.DLB {
+		opts = append(opts, WithDLB())
 	}
-	res, _, err := spec.Run()
-	return res, err
+	return opts
 }
 
 // Bound returns the paper's theoretical upper bound f(m, n) on the particle
