@@ -171,6 +171,24 @@ func benchParallelStep(b *testing.B, dlbOn bool) {
 	}
 }
 
+// BenchmarkParallelStepMetricsOff/On bracket the observability layer's
+// whole-step overhead (the acceptance budget is <5%: a handful of
+// time.Now() calls and fixed-array adds per step, no allocation).
+func BenchmarkParallelStepMetricsOff(b *testing.B) { benchParallelStepMetrics(b, false) }
+func BenchmarkParallelStepMetricsOn(b *testing.B)  { benchParallelStepMetrics(b, true) }
+
+func benchParallelStepMetrics(b *testing.B, on bool) {
+	spec := experiments.RunSpec{
+		M: 3, P: 4, Rho: 0.256, Steps: b.N, DLB: true,
+		Seed: 1, WellK: 1.5, Wells: 3, Hysteresis: 0.1, StatsEvery: 1 << 30,
+		Metrics: on,
+	}
+	b.ResetTimer()
+	if _, _, err := spec.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkDLBDecide(b *testing.B) {
 	layout, err := dlb.NewLayout(4, 4)
 	if err != nil {

@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"permcell/internal/kernel"
@@ -40,14 +43,14 @@ type kernelBenchReport struct {
 // tracks) for shard counts 1, 2 and 8, and writes the report as JSON. The
 // historical map-based kernel lives only in the kernel package's tests;
 // its comparison baseline is BenchmarkKernelMap there.
-func runBenchJSON(path string) error {
+func runBenchJSON(path string) (*kernelBenchReport, error) {
 	sys, err := workload.LatticeGas(1296, 0.384, 0.722, 1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	g, err := space.NewGrid(sys.Box, 2.5)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	lj := potential.NewPaperLJ()
 	cells := make([]int, g.NumCells())
@@ -90,12 +93,57 @@ func runBenchJSON(path string) error {
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data = append(data, '\n')
 	if path == "-" {
 		_, err = os.Stdout.Write(data)
+		return &rep, err
+	}
+	return &rep, os.WriteFile(path, data, 0o644)
+}
+
+// compareBench checks the fresh report against a committed baseline: any
+// configuration present in both whose ns/op grew by more than tolerance
+// (relative) fails. Configurations only present on one side are reported
+// but not fatal, so the baseline can trail kernel changes by one commit.
+func compareBench(fresh *kernelBenchReport, baselinePath string, tolerance float64, log io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	var base kernelBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	old := make(map[string]kernelBenchResult, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	var regressions []string
+	for _, r := range fresh.Results {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(log, "bench-baseline: %s not in baseline, skipping\n", r.Name)
+			continue
+		}
+		delete(old, r.Name)
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		rel := r.NsPerOp/b.NsPerOp - 1
+		fmt.Fprintf(log, "bench-baseline: %-22s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			r.Name, b.NsPerOp, r.NsPerOp, 100*rel)
+		if rel > tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%)", r.Name, 100*rel, 100*tolerance))
+		}
+	}
+	for name := range old {
+		fmt.Fprintf(log, "bench-baseline: %s missing from fresh run\n", name)
+	}
+	if len(regressions) > 0 {
+		return errors.New(strings.Join(regressions, "; "))
+	}
+	return nil
 }

@@ -2,14 +2,21 @@
 //
 // Usage:
 //
-//	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|all [-scale tiny|small|full] [-seed N] [-csv]
-//	figures -bench-json BENCH_kernel.json
+//	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|phases|all [-scale tiny|small|full] [-seed N] [-csv]
+//	figures -bench-json BENCH_kernel.json [-bench-baseline BENCH_kernel.json] [-bench-tolerance 0.15]
 //
 // Each id prints the same rows/series the paper reports (see DESIGN.md's
 // per-experiment index). Scales: tiny (seconds, CI), small (minutes,
-// default), full (paper sizes, hours). With -csv, fig9 and table1 emit
-// machine-readable CSV instead of the rendered text — the format the
-// golden regression tests in internal/experiments pin.
+// default), full (paper sizes, hours). With -csv, fig9, table1 and phases
+// emit machine-readable CSV instead of the rendered text — the format the
+// golden regression tests in internal/experiments pin. The phases id runs
+// the observability layer: per-phase time shares and the Fig. 5/7-style
+// imbalance curves for DDM vs DLB-DDM.
+//
+// With -bench-baseline, the freshly timed kernel results are compared
+// against the committed baseline and the command exits non-zero if any
+// configuration's ns/op regressed by more than -bench-tolerance (the CI
+// bench-regression gate).
 package main
 
 import (
@@ -21,17 +28,26 @@ import (
 )
 
 func main() {
-	id := flag.String("id", "all", "experiment id: fig5a, fig5b, fig6, fig9, fig10, table1, all")
+	id := flag.String("id", "all", "experiment id: fig5a, fig5b, fig6, fig9, fig10, table1, phases, all")
 	scale := flag.String("scale", "small", "preset scale: tiny, small, full")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
-	csv := flag.Bool("csv", false, "emit CSV instead of rendered text (fig9, table1)")
+	csv := flag.Bool("csv", false, "emit CSV instead of rendered text (fig9, table1, phases)")
 	benchJSON := flag.String("bench-json", "", "time the force kernel and write BENCH_kernel.json to this path ('-' = stdout), then exit")
+	benchBaseline := flag.String("bench-baseline", "", "compare the -bench-json results against this baseline report; exit 1 on regression")
+	benchTolerance := flag.Float64("bench-tolerance", 0.15, "relative ns/op regression allowed against -bench-baseline")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
+		rep, err := runBenchJSON(*benchJSON)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			os.Exit(1)
+		}
+		if *benchBaseline != "" {
+			if err := compareBench(rep, *benchBaseline, *benchTolerance, os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "bench-baseline: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -93,6 +109,15 @@ func main() {
 				return r.WriteCSV(os.Stdout)
 			}
 			return r.Render(os.Stdout)
+		case "phases":
+			r, err := experiments.Phases(pr, pr.Ms[len(pr.Ms)-1], *seed)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				return r.WriteCSV(os.Stdout)
+			}
+			return r.Render(os.Stdout)
 		default:
 			return fmt.Errorf("unknown experiment id %q", name)
 		}
@@ -100,7 +125,7 @@ func main() {
 
 	ids := []string{*id}
 	if *id == "all" {
-		ids = []string{"fig5a", "fig5b", "fig6", "fig9", "fig10", "table1"}
+		ids = []string{"fig5a", "fig5b", "fig6", "fig9", "fig10", "table1", "phases"}
 	}
 	for _, name := range ids {
 		if !*csv {

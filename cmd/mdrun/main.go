@@ -7,11 +7,18 @@
 //
 //	mdrun [-m 3] [-p 16] [-rho 0.256] [-steps 600] [-dlb] [-wells 12]
 //	      [-wellk 1.5] [-dt 0.005] [-hyst 0.1] [-seed 1] [-shards 1]
-//	      [-o out.csv]
+//	      [-o out.csv] [-metrics phases.jsonl] [-prom metrics.prom]
+//	      [-cpuprofile cpu.pprof] [-trace trace.out]
 //
 // Rows stream as the simulation advances (the run is O(1) in memory), so a
 // long run can be watched with tail -f. Interrupting with Ctrl-C stops at
 // the next step boundary and still flushes a complete CSV prefix.
+//
+// -metrics enables the per-phase observability layer and streams one JSON
+// record per step (phase wall times, message/byte counts, imbalance gauges
+// and the f(m,n) bound residual; "-" = stdout). -prom writes a cumulative
+// Prometheus text snapshot at exit. -cpuprofile and -trace capture pprof
+// and runtime/trace data over the whole run.
 package main
 
 import (
@@ -21,10 +28,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"syscall"
 
 	"permcell"
+	"permcell/internal/metrics"
 )
 
 func main() {
@@ -40,10 +50,41 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	shards := flag.Int("shards", 1, "per-PE force-kernel worker count")
 	out := flag.String("o", "", "CSV output path (default stdout)")
+	metricsOut := flag.String("metrics", "", "per-phase JSONL output path (enables the observability layer; \"-\" = stdout)")
+	promOut := flag.String("prom", "", "Prometheus text snapshot path, written at exit (implies -metrics collection)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -55,6 +96,23 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	collect := *metricsOut != "" || *promOut != ""
+	var jsonl *metrics.JSONLWriter
+	if *metricsOut != "" {
+		mw := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mdrun:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			mw = f
+		}
+		jsonl = metrics.NewJSONLWriter(mw)
+	}
+	var cum metrics.Cumulative
+
 	header := []string{"step", "work_max", "work_ave", "work_min",
 		"wall_max", "wall_ave", "wall_min", "step_wall_max",
 		"moved", "energy", "temperature", "c0_over_c", "n_factor"}
@@ -75,6 +133,18 @@ func main() {
 		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil && writeErr == nil {
 			writeErr = err
 		}
+		if collect {
+			cum.Add(st.StepWallAve, st.Phases)
+		}
+		if jsonl != nil {
+			rec := metrics.NewStepRecord(st.Step, st.Phases,
+				st.StepWallMax, st.StepWallAve,
+				st.WorkMax, st.WorkAve, st.WorkMin,
+				st.Moved, st.Conc.C0OverC, st.Conc.NFactor, *m)
+			if err := jsonl.Write(rec); err != nil && writeErr == nil {
+				writeErr = err
+			}
+		}
 	}
 
 	wk := *wellK
@@ -90,6 +160,9 @@ func main() {
 	if *dlbOn {
 		opts = append(opts, permcell.WithDLB())
 	}
+	if collect {
+		opts = append(opts, permcell.WithMetrics())
+	}
 
 	res, err := permcell.Run(ctx, *m, *p, *rho, *steps, opts...)
 	if errors.Is(err, context.Canceled) {
@@ -102,6 +175,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdrun:", err)
 		os.Exit(1)
+	}
+	if *promOut != "" {
+		f, err := os.Create(*promOut)
+		if err == nil {
+			err = cum.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "mdrun: N=%d dlb=%v shards=%d msgs=%d bytes=%d\n",
 		res.Final.Len(), *dlbOn, *shards, res.CommMsgs, res.CommBytes)

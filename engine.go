@@ -57,7 +57,7 @@ func New(m, p int, rho float64, opts ...Option) (Engine, error) {
 	spec := experiments.RunSpec{
 		M: m, P: p, Rho: rho, DLB: o.dlb, Seed: o.seed, Dt: o.dt,
 		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
-		StatsEvery: o.statsEvery, Shards: o.shards,
+		StatsEvery: o.statsEvery, Shards: o.shards, Metrics: o.metrics,
 	}
 	cfg, sys, _, err := spec.Build()
 	if err != nil {
@@ -71,7 +71,7 @@ func New(m, p int, rho float64, opts ...Option) (Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
 	}
-	return (*parallelEngine)(eng), nil
+	return &parallelEngine{eng: eng}, nil
 }
 
 // Run executes steps time steps of the parallel engine and returns the
@@ -87,29 +87,57 @@ func Run(ctx context.Context, m, p int, rho float64, steps int, opts ...Option) 
 
 // RunEngine drives any Engine for steps time steps, checking ctx between
 // steps. On cancellation it finalizes the engine and returns the partial
-// result together with ctx.Err(); otherwise the completed result.
+// result together with ctx.Err(); otherwise the completed result. On a Step
+// error it also finalizes the engine — so the worker goroutines are
+// released (or at least given their best-effort teardown) rather than
+// leaked — and returns whatever partial result the teardown salvaged
+// together with the Step error.
 func RunEngine(ctx context.Context, eng Engine, steps int) (*Result, error) {
 	for i := 0; i < steps; i++ {
 		if ctx.Err() != nil {
 			res, rerr := eng.Result()
 			if rerr != nil {
-				return nil, rerr
+				return res, rerr
 			}
 			return res, ctx.Err()
 		}
 		if err := eng.Step(1); err != nil {
-			return nil, err
+			res, _ := eng.Result()
+			return res, err
 		}
 	}
 	return eng.Result()
 }
 
-// parallelEngine adapts core.Engine to the facade interface.
-type parallelEngine core.Engine
+// guardStep is the facade-wide Step argument contract shared by all three
+// engines, so misuse reports identically regardless of backend.
+func guardStep(finished bool, n int) error {
+	if finished {
+		return fmt.Errorf("permcell: Step after Result")
+	}
+	if n < 0 {
+		return fmt.Errorf("permcell: negative step count %d", n)
+	}
+	return nil
+}
 
-func (e *parallelEngine) Step(n int) error         { return (*core.Engine)(e).Step(n) }
-func (e *parallelEngine) Stats() []StepStats       { return (*core.Engine)(e).Stats() }
-func (e *parallelEngine) Result() (*Result, error) { return (*core.Engine)(e).Finish() }
+// parallelEngine adapts core.Engine to the facade interface.
+type parallelEngine struct {
+	eng      *core.Engine
+	finished bool
+}
+
+func (e *parallelEngine) Step(n int) error {
+	if err := guardStep(e.finished, n); err != nil {
+		return err
+	}
+	return e.eng.Step(n)
+}
+func (e *parallelEngine) Stats() []StepStats { return e.eng.Stats() }
+func (e *parallelEngine) Result() (*Result, error) {
+	e.finished = true
+	return e.eng.Finish() // idempotent: memoizes its own outcome
+}
 
 // buildSystem constructs the shared serial/static setup: a box of nc cells
 // of side r_c per dimension at reduced density rho, the paper's LJ fluid
@@ -167,7 +195,7 @@ func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, err
 		Shape: shape, P: p, Grid: g,
 		Pair: potential.NewPaperLJ(), Ext: ext,
 		Dt: o.dtOrDefault(), Tref: units.PaperTref, RescaleEvery: units.PaperRescaleInterval,
-		Shards: o.shards, Faults: o.faults, Watchdog: o.watchdog,
+		Shards: o.shards, Metrics: o.metrics, Faults: o.faults, Watchdog: o.watchdog,
 	}
 	eng, err := corestatic.NewEngine(cfg, sys)
 	if err != nil {
@@ -177,15 +205,23 @@ func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, err
 }
 
 // staticEngine adapts corestatic.Engine, folding its narrower per-step
-// records into the shared StepStats shape as they appear.
+// records into the shared StepStats shape as they appear. The static
+// backend computes no temperature or concentration census, so those shared
+// fields stay zero (see DESIGN.md "Observability").
 type staticEngine struct {
-	eng   *corestatic.Engine
-	o     Options
-	stats []StepStats
-	seen  int
+	eng      *corestatic.Engine
+	o        Options
+	stats    []StepStats
+	seen     int
+	finished bool
+	res      *Result
+	err      error
 }
 
 func (e *staticEngine) Step(n int) error {
+	if err := guardStep(e.finished, n); err != nil {
+		return err
+	}
 	if err := e.eng.Step(n); err != nil {
 		return err
 	}
@@ -202,6 +238,8 @@ func (e *staticEngine) drain() {
 		st := StepStats{
 			Step:    r.Step,
 			WorkMax: r.WorkMax, WorkAve: r.WorkAve, WorkMin: r.WorkMin,
+			StepWallMax: r.StepWallMax, StepWallAve: r.StepWallAve,
+			Phases:      r.Phases,
 			TotalEnergy: r.TotalEnergy,
 		}
 		if !e.o.discard {
@@ -217,16 +255,22 @@ func (e *staticEngine) drain() {
 func (e *staticEngine) Stats() []StepStats { return e.stats }
 
 func (e *staticEngine) Result() (*Result, error) {
+	if e.finished {
+		return e.res, e.err
+	}
+	e.finished = true
 	raw, err := e.eng.Finish()
-	if err != nil {
+	e.err = err
+	if raw == nil {
 		return nil, err
 	}
 	e.drain()
-	return &Result{
+	e.res = &Result{
 		Stats: e.stats, Final: raw.Final,
 		CommMsgs: raw.CommMsgs, CommBytes: raw.CommBytes,
 		Faults: raw.Faults,
-	}, nil
+	}
+	return e.res, e.err
 }
 
 // NewSerial starts the serial reference engine on a box of nc cells of
@@ -248,7 +292,7 @@ func NewSerial(nc int, rho float64, opts ...Option) (Engine, error) {
 	}
 	eng, err := mdserial.New(mdserial.Config{
 		Box: sys.Box, Pair: lj, Ext: ext,
-		Dt: o.dtOrDefault(), Grid: g, Shards: o.shards,
+		Dt: o.dtOrDefault(), Grid: g, Shards: o.shards, Metrics: o.metrics,
 	}, sys.Set)
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
@@ -269,15 +313,15 @@ func (e *serialEngine) Step(n int) error {
 	if e.err != nil {
 		return e.err
 	}
-	if e.res != nil {
-		return fmt.Errorf("permcell: Step after Result")
-	}
-	if n < 0 {
-		return fmt.Errorf("permcell: negative step count %d", n)
+	if err := guardStep(e.res != nil, n); err != nil {
+		return err
 	}
 	for i := 0; i < n; i++ {
 		e.eng.Step()
 		step := e.eng.StepCount()
+		// Drain the phase accumulator every step so each emitted record
+		// describes only its own step, matching the parallel engines.
+		sample := e.eng.TakePhaseSample()
 		if step%e.o.statsEvery != 0 {
 			continue
 		}
@@ -292,10 +336,13 @@ func (e *serialEngine) Step(n int) error {
 		st := StepStats{
 			Step:    step,
 			WorkMax: w, WorkAve: w, WorkMin: w,
+			StepWallMax: e.eng.StepWall(), StepWallAve: e.eng.StepWall(),
 			TotalEnergy: e.eng.TotalEnergy(),
 			Temperature: e.eng.Set().Temperature(),
 			Conc:        conc.Compute([]conc.PE{{Cells: len(occ), Empty: empty}}),
 		}
+		st.Phases.Fold(sample)
+		st.Phases.Finalize(1)
 		if !e.o.discard {
 			e.stats = append(e.stats, st)
 		}

@@ -165,24 +165,17 @@ func (b *Kohring) Step(cellLoad []float64) Imbalance {
 		left, right := slab(i-1), slab(i)
 		if left > right && b.bounds[i]-b.bounds[i-1] > 1 {
 			moved := ll[b.bounds[i]-1]
-			if maxf(left-moved, right+moved) < maxf(left, right) {
+			if max(left-moved, right+moved) < max(left, right) {
 				b.bounds[i]--
 			}
 		} else if right > left && b.bounds[i+1]-b.bounds[i] > 1 {
 			moved := ll[b.bounds[i]]
-			if maxf(left+moved, right-moved) < maxf(left, right) {
+			if max(left+moved, right-moved) < max(left, right) {
 				b.bounds[i]++
 			}
 		}
 	}
 	return summarize(slabLoads(b.g, cellLoad, b.bounds))
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // --- Static square pillar (plain DDM) ---------------------------------------

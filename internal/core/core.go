@@ -33,6 +33,7 @@ import (
 	"permcell/internal/comm"
 	"permcell/internal/conc"
 	"permcell/internal/dlb"
+	"permcell/internal/metrics"
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
@@ -91,8 +92,14 @@ type Config struct {
 	// OnStep, when non-nil, is invoked on rank 0 with each step's stats.
 	OnStep func(StepStats)
 	// StatsEvery controls how often concentration stats are computed
-	// (they cost one small allgather; default 1 = every step).
+	// (they cost one small allgather; default 1 = every step). Negative
+	// values are rejected at validation; 0 selects the default.
 	StatsEvery int
+	// Metrics enables the per-PE phase timing layer (internal/metrics):
+	// every step's wall time is attributed to the phase taxonomy and
+	// reduced into StepStats.Phases. Off, the PEs carry a nil timer and
+	// pay one pointer test per phase boundary.
+	Metrics bool
 	// DiscardStats drops the per-step records from the Result after the
 	// OnStep hook has seen them, so long streaming runs stay O(1) in
 	// memory.
@@ -124,8 +131,14 @@ type StepStats struct {
 	WorkMax, WorkAve, WorkMin float64
 	// The same in measured wall seconds.
 	WallMax, WallAve, WallMin float64
-	// StepWallMax is the slowest PE's whole-step wall time (the paper's Tt).
-	StepWallMax float64
+	// StepWallMax is the slowest PE's whole-step wall time (the paper's
+	// Tt); StepWallAve is the PE average, the reference the phase
+	// breakdown must sum to.
+	StepWallMax, StepWallAve float64
+
+	// Phases is the per-phase timing/traffic breakdown across PEs,
+	// populated only under Config.Metrics (all-zero otherwise).
+	Phases metrics.Breakdown
 
 	// Moved is the number of columns transferred by DLB this step.
 	Moved int
@@ -145,6 +158,20 @@ func (s StepStats) Imbalance() float64 {
 		return 0
 	}
 	return (s.WorkMax - s.WorkMin) / s.WorkAve
+}
+
+// LoadRatio returns Fmax/Fave on the work metric (1 = perfect balance).
+func (s StepStats) LoadRatio() float64 { return metrics.LoadRatio(s.WorkMax, s.WorkAve) }
+
+// Efficiency returns Fave/Fmax on the work metric, the parallel efficiency
+// the paper's f(m,n) bound protects.
+func (s StepStats) Efficiency() float64 { return metrics.Efficiency(s.WorkMax, s.WorkAve) }
+
+// BoundResidual returns f(m, n) - C_0/C for the given square-pillar size m,
+// using this step's concentration census: the remaining slack under the
+// paper's balancing bound (NaN outside the bound's domain).
+func (s StepStats) BoundResidual(m int) float64 {
+	return metrics.BoundResidual(m, s.Conc.NFactor, s.Conc.C0OverC)
 }
 
 // Result is the outcome of a run.
@@ -195,6 +222,19 @@ func (cfg *Config) validate() error {
 	rc := cfg.Pair.Cutoff() * (1 - 1e-9)
 	if sx < rc || sy < rc || sz < rc {
 		return fmt.Errorf("core: cell size (%g,%g,%g) below cut-off %g", sx, sy, sz, cfg.Pair.Cutoff())
+	}
+	// Cadence and worker counts: zero means "default" (normalized by the
+	// constructors), but negative values from callers that bypass the
+	// facade defaults would reach modulo operations and worker-pool sizing,
+	// so they are rejected here rather than panicking mid-run.
+	if cfg.StatsEvery < 0 {
+		return fmt.Errorf("core: StatsEvery must be >= 0, got %d", cfg.StatsEvery)
+	}
+	if cfg.DLBEvery < 0 {
+		return fmt.Errorf("core: DLBEvery must be >= 0, got %d", cfg.DLBEvery)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("core: Shards must be >= 0, got %d", cfg.Shards)
 	}
 	if _, err := cfg.Layout(); err != nil {
 		return err

@@ -24,9 +24,12 @@ type Engine struct {
 	cmd     []chan int
 	ack     chan struct{}
 	runDone chan struct{}
+	batch   chan struct{} // in-flight batch completion (kept for salvage)
 	stepped int
 	err     error
 	done    bool
+	finRes  *Result
+	finErr  error
 }
 
 // NewEngine validates cfg, distributes sys and starts the PE goroutines.
@@ -116,6 +119,7 @@ func (e *Engine) Step(n int) error {
 		}
 		close(done)
 	}()
+	e.batch = done
 	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
 		e.err = err
 		return err
@@ -133,25 +137,50 @@ func (e *Engine) Stepped() int { return e.stepped }
 func (e *Engine) Stats() []StepStats { return e.res.Stats }
 
 // Finish releases the PE goroutines, gathers the final global state and
-// returns the completed Result. After a Step error it returns that error
-// without touching the (blocked) ranks.
+// returns the completed Result. Finish is idempotent: repeated calls return
+// the same (Result, error) pair.
+//
+// After a Step error, Finish attempts a best-effort teardown: the error
+// came from the batch watchdog, typically because an injected stall
+// outlasted one watchdog period, and the ranks usually drain the batch once
+// the stall clears. Finish waits for the in-flight batch and the shutdown
+// under an extended grace (10x the watchdog); on recovery it returns the
+// partial Result together with the original Step error, so callers can keep
+// the statistics collected before the failure. Only a true deadlock (the
+// grace also expires) returns a nil Result, leaving the rank goroutines
+// blocked — they cannot be preempted, exactly as after MPI_Abort.
 func (e *Engine) Finish() (*Result, error) {
-	if e.err != nil {
-		return nil, e.err
-	}
 	if e.done {
-		return e.res, nil
+		return e.finRes, e.finErr
 	}
 	e.done = true
+	e.finRes, e.finErr = e.finish()
+	return e.finRes, e.finErr
+}
+
+func (e *Engine) finish() (*Result, error) {
+	watch := e.cfg.Watchdog
+	if e.err != nil {
+		// Salvage: give the stalled batch an extended grace to drain.
+		watch = 10 * e.cfg.Watchdog
+		if e.batch != nil {
+			if werr := e.world.WatchSection(watch, e.batch); werr != nil {
+				return nil, e.err
+			}
+		}
+	}
 	for _, ch := range e.cmd {
 		ch <- -1
 	}
-	if err := e.world.WatchSection(e.cfg.Watchdog, e.runDone); err != nil {
-		e.err = err
-		return nil, err
+	if werr := e.world.WatchSection(watch, e.runDone); werr != nil {
+		if e.err != nil {
+			return nil, e.err
+		}
+		e.err = werr
+		return nil, werr
 	}
 	e.res.CommMsgs, e.res.CommBytes = e.world.Stats()
 	e.res.Faults = e.world.FaultStats()
 	e.res.FaultEvents = e.world.FaultEvents()
-	return e.res, nil
+	return e.res, e.err
 }

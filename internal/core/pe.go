@@ -10,6 +10,7 @@ import (
 	"permcell/internal/dlb"
 	"permcell/internal/integrator"
 	"permcell/internal/kernel"
+	"permcell/internal/metrics"
 	"permcell/internal/particle"
 	"permcell/internal/topology"
 	"permcell/internal/vec"
@@ -36,15 +37,16 @@ type cellBlock struct {
 
 // peRecord is the per-step census a PE contributes to the global stats.
 type peRecord struct {
-	Work  float64
-	Wall  float64
-	Step  float64 // whole-step wall seconds
-	Cells int
-	Empty int
-	Moved int
-	PotE  float64
-	KinE  float64
-	N     int
+	Work   float64
+	Wall   float64
+	Step   float64 // whole-step wall seconds
+	Cells  int
+	Empty  int
+	Moved  int
+	PotE   float64
+	KinE   float64
+	N      int
+	Phases metrics.Sample // zero unless cfg.Metrics
 }
 
 // pe is the state of one processing element.
@@ -66,15 +68,19 @@ type pe struct {
 	potE     float64 // local share of potential energy
 	moved    int     // columns moved by my decision this step
 	initN    int64   // global particle count at step 0 (Verify only)
+
+	tm *metrics.Timer // per-phase timing; nil unless cfg.Metrics
 }
 
-// send delivers a protocol message over the possibly-faulty substrate.
-// Retries are handled inside SendReliable; exhausting them is a fatal
-// transport failure, the goroutine analogue of an MPI error handler abort.
-func (p *pe) send(dst, tag int, data any, size int64) {
+// send delivers a protocol message over the possibly-faulty substrate,
+// attributing it to phase ph of the metrics layer. Retries are handled
+// inside SendReliable; exhausting them is a fatal transport failure, the
+// goroutine analogue of an MPI error handler abort.
+func (p *pe) send(ph metrics.Phase, dst, tag int, data any, size int64) {
 	if err := p.c.SendReliableSized(dst, tag, data, size); err != nil {
 		panic(fmt.Sprintf("core: rank %d: %v", p.c.Rank(), err))
 	}
+	p.tm.Count(ph, 1, size)
 }
 
 func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *pe {
@@ -89,6 +95,9 @@ func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *p
 	}
 	p.nbs = append(p.nbs, layout.T.UniqueNeighbors(c.Rank())...)
 	sort.Ints(p.nbs)
+	if cfg.Metrics {
+		p.tm = &metrics.Timer{}
+	}
 
 	// Initial distribution: each PE takes the particles in its own columns.
 	// The shared input system is only read, never written.
@@ -112,10 +121,16 @@ func (p *pe) init() {
 	if p.cfg.Verify {
 		p.initN = p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
 	}
+	// Drain the step-0 accumulation so the first step's phase sample covers
+	// only work inside its own wall-clock window.
+	p.tm.TakeSample()
 }
 
 // oneStep advances this PE by time step number step (1-based, monotonic
-// across stepwise batches).
+// across stepwise batches). Every section between t0 and the stats census
+// is attributed to one metrics phase, so the phase breakdown sums to the
+// whole-step wall time; the census allgather itself and the Verify
+// collectives run after the wall snapshot and stay outside the taxonomy.
 func (p *pe) oneStep(step int, res *Result) {
 	dlbEvery := p.cfg.DLBEvery
 	if dlbEvery < 1 {
@@ -126,15 +141,25 @@ func (p *pe) oneStep(step int, res *Result) {
 	if p.cfg.DLB && (step-1)%dlbEvery == 0 {
 		p.dlbStep()
 	}
+	ti := p.tm.Start()
 	integrator.HalfKick(&p.set, p.cfg.Dt)
 	integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
+	p.tm.Stop(metrics.PhaseIntegrate, ti)
+	tm := p.tm.Start()
 	p.migrate()
 	p.rebuild()
+	p.tm.Stop(metrics.PhaseMigrate, tm)
+	th := p.tm.Start()
 	p.haloExchange()
+	p.tm.Stop(metrics.PhaseHalo, th)
 	p.computeForces()
+	ti = p.tm.Start()
 	integrator.HalfKick(&p.set, p.cfg.Dt)
+	p.tm.Stop(metrics.PhaseIntegrate, ti)
 	if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
+		tc := p.tm.Start()
 		p.rescale()
+		p.tm.Stop(metrics.PhaseCollective, tc)
 	}
 	p.collectStats(step, time.Since(t0).Seconds(), res)
 	if p.cfg.Verify {
@@ -217,9 +242,10 @@ func (p *pe) load() float64 {
 
 // dlbStep runs protocol steps 1-4 plus the particle payload transfers.
 func (p *pe) dlbStep() {
+	td := p.tm.Start()
 	// Step 1: exchange last-step loads with the 8 neighbors.
 	for _, nb := range p.nbs {
-		p.send(nb, tagLoad, p.load(), 0)
+		p.send(metrics.PhaseDLBDecide, nb, tagLoad, p.load(), 0)
 	}
 	nbLoad := make(map[int]float64, len(p.nbs))
 	for _, nb := range p.nbs {
@@ -243,7 +269,7 @@ func (p *pe) dlbStep() {
 
 	// Step 4: broadcast the decision; apply everyone's.
 	for _, nb := range p.nbs {
-		p.send(nb, tagDecision, d, 0)
+		p.send(metrics.PhaseDLBDecide, nb, tagDecision, d, 0)
 	}
 	if err := p.lg.Apply(p.c.Rank(), d); err != nil {
 		panic(fmt.Sprintf("core: rank %d self-apply: %v", p.c.Rank(), err))
@@ -257,13 +283,16 @@ func (p *pe) dlbStep() {
 		}
 	}
 
+	p.tm.Stop(metrics.PhaseDLBDecide, td)
+
 	// Payload transfers: my moved column's particles leave; columns moved to
 	// me arrive.
+	tt := p.tm.Start()
 	if d.Col >= 0 {
 		p.moved = 1
 		p.dirty = true
 		out := p.extractColumn(d.Col)
-		p.send(d.Dest, tagTransfer, out, int64(len(out))*48)
+		p.send(metrics.PhaseDLBTransfer, d.Dest, tagTransfer, out, int64(len(out))*48)
 	}
 	for _, nb := range p.nbs {
 		nd := nbDecision[nb]
@@ -275,6 +304,7 @@ func (p *pe) dlbStep() {
 			}
 		}
 	}
+	p.tm.Stop(metrics.PhaseDLBTransfer, tt)
 }
 
 // extractColumn removes and returns (sorted by ID) the particles currently
@@ -320,7 +350,7 @@ func (p *pe) migrate() {
 	for _, nb := range p.nbs {
 		msg := out[nb]
 		sort.Slice(msg, func(a, b int) bool { return msg[a].ID < msg[b].ID })
-		p.send(nb, tagMigrate, msg, int64(len(msg))*48)
+		p.send(metrics.PhaseMigrate, nb, tagMigrate, msg, int64(len(msg))*48)
 	}
 	for _, nb := range p.nbs {
 		in := p.c.Recv(nb, tagMigrate).([]particle.One)
@@ -371,7 +401,7 @@ func (p *pe) haloExchange() {
 		need[host] = append(need[host], nc)
 	}
 	for _, nb := range p.nbs {
-		p.send(nb, tagNeed, need[nb], 0)
+		p.send(metrics.PhaseHalo, nb, tagNeed, need[nb], 0)
 	}
 	// Answer the neighbors' requests.
 	for _, nb := range p.nbs {
@@ -390,7 +420,7 @@ func (p *pe) haloExchange() {
 			bytes += int64(len(idx)) * 24
 			resp = append(resp, blk)
 		}
-		p.send(nb, tagHalo, resp, bytes)
+		p.send(metrics.PhaseHalo, nb, tagHalo, resp, bytes)
 	}
 	p.cl.ClearGhosts()
 	for _, nb := range p.nbs {
@@ -411,6 +441,7 @@ func (p *pe) computeForces() {
 	p.potE = potE
 	p.lastWall = time.Since(t0).Seconds()
 	p.lastWork = float64(pairs)
+	p.tm.Add(metrics.PhaseForce, p.lastWall)
 }
 
 // rescale applies global velocity rescaling to Tref.
@@ -421,8 +452,11 @@ func (p *pe) rescale() {
 }
 
 // collectStats gathers the per-PE census and, on rank 0, folds it into the
-// run result.
+// run result. The phase sample is taken (and the timer reset) every step so
+// a sample never spans steps; on skipped steps it is simply dropped, like
+// the rest of the per-step snapshot quantities.
 func (p *pe) collectStats(step int, stepWall float64, res *Result) {
+	sample := p.tm.TakeSample()
 	if step%p.cfg.StatsEvery != 0 {
 		return
 	}
@@ -433,15 +467,16 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		}
 	}
 	rec := peRecord{
-		Work:  p.lastWork,
-		Wall:  p.lastWall,
-		Step:  stepWall,
-		Cells: p.cl.NumHosted(),
-		Empty: empty,
-		Moved: p.moved,
-		PotE:  p.potE,
-		KinE:  p.set.KineticEnergy(),
-		N:     p.set.Len(),
+		Work:   p.lastWork,
+		Wall:   p.lastWall,
+		Step:   stepWall,
+		Cells:  p.cl.NumHosted(),
+		Empty:  empty,
+		Moved:  p.moved,
+		PotE:   p.potE,
+		KinE:   p.set.KineticEnergy(),
+		N:      p.set.Len(),
+		Phases: sample,
 	}
 	all := p.c.Allgather(rec)
 	if p.c.Rank() != 0 {
@@ -452,9 +487,9 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 	var totalN int
 	for i, a := range all {
 		r := a.(peRecord)
-		st.WorkMax = maxf(st.WorkMax, r.Work)
-		st.WallMax = maxf(st.WallMax, r.Wall)
-		st.StepWallMax = maxf(st.StepWallMax, r.Step)
+		st.WorkMax = max(st.WorkMax, r.Work)
+		st.WallMax = max(st.WallMax, r.Wall)
+		st.StepWallMax = max(st.StepWallMax, r.Step)
 		if st.WorkMin < 0 || r.Work < st.WorkMin {
 			st.WorkMin = r.Work
 		}
@@ -463,13 +498,17 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		}
 		st.WorkAve += r.Work
 		st.WallAve += r.Wall
+		st.StepWallAve += r.Step
 		st.Moved += r.Moved
 		st.TotalEnergy += r.PotE + r.KinE
 		totalN += r.N
 		pes[i] = conc.PE{Cells: r.Cells, Empty: r.Empty}
+		st.Phases.Fold(r.Phases)
 	}
 	st.WorkAve /= float64(len(all))
 	st.WallAve /= float64(len(all))
+	st.StepWallAve /= float64(len(all))
+	st.Phases.Finalize(len(all))
 	if totalN > 0 {
 		var ke float64
 		for _, a := range all {
@@ -505,13 +544,6 @@ func (p *pe) gatherFinal(res *Result) {
 	}
 	final.SortByID()
 	res.Final = final
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func containsInt(sorted []int, v int) bool {

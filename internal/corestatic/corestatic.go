@@ -15,6 +15,7 @@ import (
 	"permcell/internal/decomp"
 	"permcell/internal/integrator"
 	"permcell/internal/kernel"
+	"permcell/internal/metrics"
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
@@ -34,8 +35,10 @@ type Config struct {
 	Tref         float64
 	RescaleEvery int
 	// Shards is the per-PE force-kernel worker count (<= 1 = serial), as
-	// in core.Config.
+	// in core.Config. Negative values are rejected.
 	Shards int
+	// Metrics enables the per-PE phase timing layer, as in core.Config.
+	Metrics bool
 
 	// Faults, Watchdog and InboxCap configure the comm chaos layer,
 	// exactly as in internal/core.Config.
@@ -44,7 +47,10 @@ type Config struct {
 	InboxCap int
 }
 
-// StepStats is the per-step record.
+// StepStats is the per-step record. The static engine reports only the
+// work census, ghost surface, energy and (under Metrics) the phase
+// breakdown; it computes no temperature or concentration census, so the
+// shared facade record leaves those fields zero.
 type StepStats struct {
 	Step                      int
 	WorkMax, WorkAve, WorkMin float64
@@ -52,6 +58,11 @@ type StepStats struct {
 	// step (the communication surface the shape analysis predicts).
 	GhostCellsMax int
 	TotalEnergy   float64
+	// StepWallMax/StepWallAve are the slowest-PE and PE-average whole-step
+	// wall times.
+	StepWallMax, StepWallAve float64
+	// Phases is the cross-PE phase breakdown (zero unless Config.Metrics).
+	Phases metrics.Breakdown
 }
 
 // Result is the outcome of a run.
@@ -81,6 +92,9 @@ type cellBlock struct {
 func setup(cfg *Config, stepwise bool) (*decomp.Decomposition, *comm.World, error) {
 	if cfg.Pair == nil || cfg.Dt <= 0 || cfg.Grid.NumCells() == 0 {
 		return nil, nil, fmt.Errorf("corestatic: incomplete config")
+	}
+	if cfg.Shards < 0 {
+		return nil, nil, fmt.Errorf("corestatic: Shards must be >= 0, got %d", cfg.Shards)
 	}
 	if cfg.Ext == nil {
 		cfg.Ext = potential.NoField{}
@@ -150,22 +164,30 @@ type spe struct {
 	cl  *kernel.CellLists
 
 	lastWork  float64
+	lastWall  float64
 	potE      float64
 	ghostSeen int
+
+	tm *metrics.Timer // per-phase timing; nil unless cfg.Metrics
 }
 
-// send delivers a protocol message via SendReliable; exhausted retries are
-// a fatal transport failure, as in internal/core.
-func (p *spe) send(dst, tag int, data any, size int64) {
+// send delivers a protocol message via SendReliable, attributing it to
+// phase ph; exhausted retries are a fatal transport failure, as in
+// internal/core.
+func (p *spe) send(ph metrics.Phase, dst, tag int, data any, size int64) {
 	if err := p.c.SendReliableSized(dst, tag, data, size); err != nil {
 		panic(fmt.Sprintf("corestatic: rank %d: %v", p.c.Rank(), err))
 	}
+	p.tm.Count(ph, 1, size)
 }
 
 func newSPE(c *comm.Comm, cfg *Config, d *decomp.Decomposition, sys workload.System) *spe {
 	p := &spe{
 		c: c, cfg: cfg, d: d,
 		cl: kernel.NewCellLists(cfg.Grid, cfg.Shards),
+	}
+	if cfg.Metrics {
+		p.tm = &metrics.Timer{}
 	}
 	p.nbs = append(p.nbs, d.NeighborRanks(c.Rank())...)
 	sort.Ints(p.nbs)
@@ -184,22 +206,36 @@ func (p *spe) init() {
 	p.rebuild()
 	p.haloExchange()
 	p.computeForces()
+	// Drain the step-0 accumulation so the first step's phase sample covers
+	// only work inside its own wall-clock window.
+	p.tm.TakeSample()
 }
 
 func (p *spe) oneStep(step int, res *Result) {
+	t0 := time.Now()
+	ti := p.tm.Start()
 	integrator.HalfKick(&p.set, p.cfg.Dt)
 	integrator.Drift(&p.set, p.cfg.Dt, p.cfg.Grid.Box)
+	p.tm.Stop(metrics.PhaseIntegrate, ti)
+	tmg := p.tm.Start()
 	p.migrate()
 	p.rebuild()
+	p.tm.Stop(metrics.PhaseMigrate, tmg)
+	th := p.tm.Start()
 	p.haloExchange()
+	p.tm.Stop(metrics.PhaseHalo, th)
 	p.computeForces()
+	ti = p.tm.Start()
 	integrator.HalfKick(&p.set, p.cfg.Dt)
+	p.tm.Stop(metrics.PhaseIntegrate, ti)
 	if p.cfg.RescaleEvery > 0 && step%p.cfg.RescaleEvery == 0 {
+		tc := p.tm.Start()
 		ke := p.c.AllreduceFloat64(p.set.KineticEnergy(), comm.Sum)
 		n := p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
 		integrator.Rescale(&p.set, integrator.RescaleFactor(ke, int(n), p.cfg.Tref))
+		p.tm.Stop(metrics.PhaseCollective, tc)
 	}
-	p.collectStats(step, res)
+	p.collectStats(step, time.Since(t0).Seconds(), res)
 }
 
 func (p *spe) run(steps int, res *Result) {
@@ -256,7 +292,7 @@ func (p *spe) migrate() {
 	for _, nb := range p.nbs {
 		msg := out[nb]
 		sort.Slice(msg, func(a, b int) bool { return msg[a].ID < msg[b].ID })
-		p.send(nb, tagMigrate, msg, int64(len(msg))*48)
+		p.send(metrics.PhaseMigrate, nb, tagMigrate, msg, int64(len(msg))*48)
 	}
 	for _, nb := range p.nbs {
 		for _, one := range p.c.Recv(nb, tagMigrate).([]particle.One) {
@@ -272,7 +308,7 @@ func (p *spe) haloExchange() {
 	}
 	p.ghostSeen = len(p.cl.GhostCells())
 	for _, nb := range p.nbs {
-		p.send(nb, tagNeed, need[nb], 0)
+		p.send(metrics.PhaseHalo, nb, tagNeed, need[nb], 0)
 	}
 	for _, nb := range p.nbs {
 		req := p.c.Recv(nb, tagNeed).([]int)
@@ -290,7 +326,7 @@ func (p *spe) haloExchange() {
 			bytes += int64(len(idx)) * 24
 			resp = append(resp, blk)
 		}
-		p.send(nb, tagHalo, resp, bytes)
+		p.send(metrics.PhaseHalo, nb, tagHalo, resp, bytes)
 	}
 	p.cl.ClearGhosts()
 	for _, nb := range p.nbs {
@@ -303,21 +339,30 @@ func (p *spe) haloExchange() {
 
 func (p *spe) computeForces() {
 	p.set.ZeroForces()
+	t0 := time.Now()
 	potE, _, pairs := p.cl.Compute(p.cfg.Pair, &p.set)
 	potE += kernel.ExternalForces(p.cfg.Ext, &p.set)
 	p.potE = potE
+	p.lastWall = time.Since(t0).Seconds()
 	p.lastWork = float64(pairs)
+	p.tm.Add(metrics.PhaseForce, p.lastWall)
 }
 
 type record struct {
 	Work   float64
+	Step   float64 // whole-step wall seconds
 	Ghosts int
 	PotE   float64
 	KinE   float64
+	Phases metrics.Sample // zero unless cfg.Metrics
 }
 
-func (p *spe) collectStats(step int, res *Result) {
-	rec := record{Work: p.lastWork, Ghosts: p.ghostSeen, PotE: p.potE, KinE: p.set.KineticEnergy()}
+func (p *spe) collectStats(step int, stepWall float64, res *Result) {
+	rec := record{
+		Work: p.lastWork, Step: stepWall, Ghosts: p.ghostSeen,
+		PotE: p.potE, KinE: p.set.KineticEnergy(),
+		Phases: p.tm.TakeSample(),
+	}
 	all := p.c.Allgather(rec)
 	if p.c.Rank() != 0 {
 		return
@@ -325,19 +370,20 @@ func (p *spe) collectStats(step int, res *Result) {
 	st := StepStats{Step: step, WorkMin: -1}
 	for _, a := range all {
 		r := a.(record)
-		if r.Work > st.WorkMax {
-			st.WorkMax = r.Work
-		}
+		st.WorkMax = max(st.WorkMax, r.Work)
 		if st.WorkMin < 0 || r.Work < st.WorkMin {
 			st.WorkMin = r.Work
 		}
 		st.WorkAve += r.Work
-		if r.Ghosts > st.GhostCellsMax {
-			st.GhostCellsMax = r.Ghosts
-		}
+		st.GhostCellsMax = max(st.GhostCellsMax, r.Ghosts)
 		st.TotalEnergy += r.PotE + r.KinE
+		st.StepWallMax = max(st.StepWallMax, r.Step)
+		st.StepWallAve += r.Step
+		st.Phases.Fold(r.Phases)
 	}
 	st.WorkAve /= float64(len(all))
+	st.StepWallAve /= float64(len(all))
+	st.Phases.Finalize(len(all))
 	res.Stats = append(res.Stats, st)
 }
 

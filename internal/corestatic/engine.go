@@ -19,9 +19,12 @@ type Engine struct {
 	cmd     []chan int
 	ack     chan struct{}
 	runDone chan struct{}
+	batch   chan struct{} // in-flight batch completion (kept for salvage)
 	stepped int
 	err     error
 	done    bool
+	finRes  *Result
+	finErr  error
 }
 
 // NewEngine validates cfg, distributes sys and starts the SPE goroutines,
@@ -79,6 +82,7 @@ func (e *Engine) Step(n int) error {
 		}
 		close(done)
 	}()
+	e.batch = done
 	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
 		e.err = err
 		return err
@@ -95,23 +99,40 @@ func (e *Engine) Stepped() int { return e.stepped }
 func (e *Engine) Stats() []StepStats { return e.res.Stats }
 
 // Finish releases the SPE goroutines, gathers the final global state and
-// returns the completed Result.
+// returns the completed Result. Finish is idempotent, and after a Step
+// error it attempts the same best-effort teardown as core.Engine.Finish:
+// wait out the stalled batch under an extended grace and, on recovery,
+// return the partial Result together with the original Step error.
 func (e *Engine) Finish() (*Result, error) {
-	if e.err != nil {
-		return nil, e.err
-	}
 	if e.done {
-		return e.res, nil
+		return e.finRes, e.finErr
 	}
 	e.done = true
+	e.finRes, e.finErr = e.finish()
+	return e.finRes, e.finErr
+}
+
+func (e *Engine) finish() (*Result, error) {
+	watch := e.cfg.Watchdog
+	if e.err != nil {
+		watch = 10 * e.cfg.Watchdog
+		if e.batch != nil {
+			if werr := e.world.WatchSection(watch, e.batch); werr != nil {
+				return nil, e.err
+			}
+		}
+	}
 	for _, ch := range e.cmd {
 		ch <- -1
 	}
-	if err := e.world.WatchSection(e.cfg.Watchdog, e.runDone); err != nil {
-		e.err = err
-		return nil, err
+	if werr := e.world.WatchSection(watch, e.runDone); werr != nil {
+		if e.err != nil {
+			return nil, e.err
+		}
+		e.err = werr
+		return nil, werr
 	}
 	e.res.CommMsgs, e.res.CommBytes = e.world.Stats()
 	e.res.Faults = e.world.FaultStats()
-	return e.res, nil
+	return e.res, e.err
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"permcell/internal/metrics"
+)
+
+func TestPhasesShape(t *testing.T) {
+	pr := Tiny()
+	r, err := Phases(pr, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Steps) != pr.FigSteps {
+		t.Fatalf("steps = %d, want %d", len(r.Steps), pr.FigSteps)
+	}
+	if r.StepWallDDM <= 0 || r.StepWallDLB <= 0 {
+		t.Fatalf("step walls %g / %g not positive", r.StepWallDDM, r.StepWallDLB)
+	}
+	if r.PhaseSecsDDM[metrics.PhaseForce] <= 0 || r.PhaseSecsDLB[metrics.PhaseForce] <= 0 {
+		t.Errorf("force phase time missing: DDM %g DLB %g",
+			r.PhaseSecsDDM[metrics.PhaseForce], r.PhaseSecsDDM[metrics.PhaseForce])
+	}
+	// The taxonomy covers the step: phase sums may not exceed the wall (small
+	// slack for clock granularity) and should account for most of it.
+	for _, run := range []struct {
+		name   string
+		phases [metrics.NumPhases]float64
+		wall   float64
+	}{
+		{"DDM", r.PhaseSecsDDM, r.StepWallDDM},
+		{"DLB", r.PhaseSecsDLB, r.StepWallDLB},
+	} {
+		var sum float64
+		for _, s := range run.phases {
+			sum += s
+		}
+		if ratio := sum / run.wall; ratio <= 0.5 || ratio > 1.02 {
+			t.Errorf("%s: phase sum %g vs step wall %g (ratio %.3f)", run.name, sum, run.wall, ratio)
+		}
+	}
+	// Load ratios are >= 1 by construction (Fmax >= Fave).
+	if r.MeanRatioDDM() < 1 || r.MeanRatioDLB() < 1 {
+		t.Errorf("mean load ratios below 1: DDM %g DLB %g", r.MeanRatioDDM(), r.MeanRatioDLB())
+	}
+
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase", "force", "halo", "mean load ratio"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	sb.Reset()
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "step,ratio_ddm,eff_ddm,ratio_dlb,eff_dlb,moved_dlb\n") {
+		t.Errorf("csv header wrong: %q", strings.SplitN(sb.String(), "\n", 2)[0])
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != len(r.Steps)+1 {
+		t.Errorf("csv has %d lines, want %d", lines, len(r.Steps)+1)
+	}
+}

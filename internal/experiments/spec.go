@@ -49,6 +49,8 @@ type RunSpec struct {
 	// Shards is the per-PE force-kernel worker count (<= 1 = serial
 	// kernel). Traces are bit-deterministic per shard count.
 	Shards int
+	// Metrics enables the per-phase timing layer (core.Config.Metrics).
+	Metrics bool
 	// Dt overrides the integration time step. Zero selects the experiment
 	// default of 0.005 reduced time units — a standard (stable) LJ step
 	// that reaches the paper's physical time span in ~50x fewer steps than
@@ -118,6 +120,7 @@ func (s RunSpec) Build() (core.Config, workload.System, SysInfo, error) {
 		Metric:        core.WorkCount,
 		Shards:        s.Shards,
 		StatsEvery:    s.StatsEvery,
+		Metrics:       s.Metrics,
 	}
 	if s.WellK > 0 {
 		if s.Wells <= 1 {

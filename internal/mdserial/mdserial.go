@@ -9,9 +9,11 @@ package mdserial
 
 import (
 	"fmt"
+	"time"
 
 	"permcell/internal/integrator"
 	"permcell/internal/kernel"
+	"permcell/internal/metrics"
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
@@ -39,6 +41,11 @@ type Config struct {
 	// Results are bit-deterministic per shard count. Engines with
 	// Shards > 1 must be Closed to stop the worker pool.
 	Shards int
+	// Metrics enables the per-step phase timing layer (internal/metrics).
+	// Off, the engine carries a nil timer and the hot path pays one
+	// pointer test per phase boundary. The serial engine has no comm
+	// phases, so only integrate/migrate (re-binning)/force accumulate.
+	Metrics bool
 }
 
 // Engine advances a particle set through time.
@@ -49,6 +56,9 @@ type Engine struct {
 
 	cl   *kernel.CellLists // flat cell lists + force kernel scratch
 	step int
+
+	tm       *metrics.Timer // nil unless Config.Metrics
+	stepWall float64        // wall seconds of the last Step
 
 	potE      float64
 	virial    float64
@@ -76,6 +86,9 @@ func New(cfg Config, set *particle.Set) (*Engine, error) {
 		}
 	}
 	e := &Engine{cfg: cfg, grid: g, set: set}
+	if cfg.Metrics {
+		e.tm = &metrics.Timer{}
+	}
 	e.cl = kernel.NewCellLists(g, cfg.Shards)
 	// Serial engine: every cell is hosted, no ghosts.
 	all := make([]int, g.NumCells())
@@ -155,17 +168,34 @@ func (e *Engine) computeForces() {
 
 // Step advances the simulation one velocity-Verlet time step.
 func (e *Engine) Step() {
+	t0 := time.Now()
 	dt := e.cfg.Dt
+	ti := e.tm.Start()
 	integrator.HalfKick(e.set, dt)
 	integrator.Drift(e.set, dt, e.cfg.Box)
+	e.tm.Stop(metrics.PhaseIntegrate, ti)
+	tr := e.tm.Start()
 	e.rebuildCells()
+	e.tm.Stop(metrics.PhaseMigrate, tr)
+	tf := e.tm.Start()
 	e.computeForces()
+	e.tm.Stop(metrics.PhaseForce, tf)
+	ti = e.tm.Start()
 	integrator.HalfKick(e.set, dt)
 	e.step++
 	if e.cfg.RescaleEvery > 0 && e.step%e.cfg.RescaleEvery == 0 {
 		integrator.RescaleToTemperature(e.set, e.cfg.Tref)
 	}
+	e.tm.Stop(metrics.PhaseIntegrate, ti)
+	e.stepWall = time.Since(t0).Seconds()
 }
+
+// StepWall returns the wall-clock seconds of the most recent Step.
+func (e *Engine) StepWall() float64 { return e.stepWall }
+
+// TakePhaseSample returns the phase sample accumulated since the previous
+// call and resets the accumulator. All-zero unless Config.Metrics.
+func (e *Engine) TakePhaseSample() metrics.Sample { return e.tm.TakeSample() }
 
 // Run advances the simulation n steps.
 func (e *Engine) Run(n int) {

@@ -1,0 +1,378 @@
+// Package metrics is the per-PE phase timing and imbalance observability
+// layer. The paper's DLB protocol is driven entirely by measured per-step
+// execution time, and its whole evaluation is a family of timing and
+// imbalance curves — so the engines record where each step's wall time goes
+// (force, halo exchange, migration, DLB decide/transfer, integration,
+// collectives) and derive the balance gauges (max/avg load ratio, parallel
+// efficiency, the f(m,n) bound residual) from the same census that already
+// feeds the figures.
+//
+// The design splits into a hot half and a cold half:
+//
+//   - Timer/Sample run inside every PE goroutine each step. They are fixed
+//     arrays with value semantics — no maps, no interfaces, no allocation in
+//     steady state — and every Timer method is a nil-receiver no-op, so a
+//     run without metrics pays one pointer test per phase boundary.
+//   - Breakdown/Cumulative and the JSONL and Prometheus exporters run on
+//     rank 0 (or in the driver) at statistics cadence; they may allocate.
+//
+// Phase msg/byte counters cover the point-to-point protocol traffic a PE
+// originates (loads, decisions, transfers, migration, halo need/response).
+// Collective traffic (reductions, gathers) is accounted in the whole-run
+// comm totals, not per phase.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"permcell/internal/theory"
+)
+
+// Phase indexes one instrumented section of a time step.
+type Phase uint8
+
+// The phase taxonomy (DESIGN.md "Observability"). PhaseMigrate includes the
+// post-migration cell re-binning; for the serial engine, which never
+// communicates, it is the per-step re-binning alone.
+const (
+	PhaseDLBDecide Phase = iota
+	PhaseDLBTransfer
+	PhaseIntegrate
+	PhaseMigrate
+	PhaseHalo
+	PhaseForce
+	PhaseCollective
+
+	// NumPhases is the number of instrumented phases; Sample and Breakdown
+	// arrays are indexed by Phase.
+	NumPhases = 7
+)
+
+var phaseNames = [NumPhases]string{
+	"dlb_decide", "dlb_transfer", "integrate", "migrate", "halo", "force", "collective",
+}
+
+// String returns the stable snake_case phase name used by the exporters.
+func (p Phase) String() string {
+	if int(p) < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Sample is one PE's phase breakdown for one step: wall seconds plus the
+// point-to-point messages and payload bytes the PE originated per phase.
+// Fixed arrays keep it comparable and sendable by value through the comm
+// substrate without allocation beyond the interface boxing the substrate
+// already performs for every record.
+type Sample struct {
+	Secs  [NumPhases]float64
+	Msgs  [NumPhases]int64
+	Bytes [NumPhases]int64
+}
+
+// TotalSecs returns the sum over phases, one PE's instrumented step time.
+func (s Sample) TotalSecs() float64 {
+	var t float64
+	for _, v := range s.Secs {
+		t += v
+	}
+	return t
+}
+
+// Timer accumulates one PE's Sample across the phases of a step. All
+// methods are nil-receiver no-ops so disabled runs carry no timing calls;
+// an enabled Timer performs zero heap allocations in steady state
+// (asserted by TestTimerZeroAlloc).
+type Timer struct {
+	cur Sample
+}
+
+// Enabled reports whether the timer collects.
+func (t *Timer) Enabled() bool { return t != nil }
+
+// Start returns the phase start time (zero when disabled, so the matching
+// Stop is also a no-op without a second branch at the call site).
+func (t *Timer) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop adds the elapsed time since t0 to phase ph.
+func (t *Timer) Stop(ph Phase, t0 time.Time) {
+	if t == nil {
+		return
+	}
+	t.cur.Secs[ph] += time.Since(t0).Seconds()
+}
+
+// Add folds externally measured seconds into phase ph (used when a section
+// already times itself, e.g. the force kernel's wall-clock load metric).
+func (t *Timer) Add(ph Phase, secs float64) {
+	if t == nil {
+		return
+	}
+	t.cur.Secs[ph] += secs
+}
+
+// Count adds originated messages and payload bytes to phase ph.
+func (t *Timer) Count(ph Phase, msgs, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.cur.Msgs[ph] += msgs
+	t.cur.Bytes[ph] += bytes
+}
+
+// TakeSample returns the accumulated sample and resets the timer. Engines
+// call it once per step so a sample never spans steps; the zero Sample is
+// returned when disabled.
+func (t *Timer) TakeSample() Sample {
+	if t == nil {
+		return Sample{}
+	}
+	s := t.cur
+	t.cur = Sample{}
+	return s
+}
+
+// Breakdown is the cross-PE reduction of one step's samples: slowest-PE and
+// PE-average seconds per phase, and totals of the originated messages and
+// bytes. Build one with Fold over every PE's Sample, then Finalize.
+type Breakdown struct {
+	MaxSecs [NumPhases]float64
+	AveSecs [NumPhases]float64
+	Msgs    [NumPhases]int64
+	Bytes   [NumPhases]int64
+}
+
+// Fold accumulates one PE's sample (AveSecs holds sums until Finalize).
+func (b *Breakdown) Fold(s Sample) {
+	for ph := 0; ph < NumPhases; ph++ {
+		b.MaxSecs[ph] = max(b.MaxSecs[ph], s.Secs[ph])
+		b.AveSecs[ph] += s.Secs[ph]
+		b.Msgs[ph] += s.Msgs[ph]
+		b.Bytes[ph] += s.Bytes[ph]
+	}
+}
+
+// Finalize converts the folded sums into PE averages.
+func (b *Breakdown) Finalize(pes int) {
+	if pes < 1 {
+		return
+	}
+	for ph := 0; ph < NumPhases; ph++ {
+		b.AveSecs[ph] /= float64(pes)
+	}
+}
+
+// SumAveSecs returns the sum over phases of the PE-average seconds — the
+// quantity that must track the PE-average whole-step wall time.
+func (b Breakdown) SumAveSecs() float64 {
+	var t float64
+	for _, v := range b.AveSecs {
+		t += v
+	}
+	return t
+}
+
+// SumMsgs and SumBytes return the step's total originated point-to-point
+// traffic.
+func (b Breakdown) SumMsgs() int64 {
+	var t int64
+	for _, v := range b.Msgs {
+		t += v
+	}
+	return t
+}
+
+func (b Breakdown) SumBytes() int64 {
+	var t int64
+	for _, v := range b.Bytes {
+		t += v
+	}
+	return t
+}
+
+// ---- Derived imbalance gauges -----------------------------------------
+
+// LoadRatio returns maxLoad/aveLoad, the max/avg load ratio (1 = perfect
+// balance; the paper's Fmax/Fave).
+func LoadRatio(maxLoad, aveLoad float64) float64 {
+	if aveLoad == 0 {
+		return 0
+	}
+	return maxLoad / aveLoad
+}
+
+// Efficiency returns aveLoad/maxLoad, the parallel efficiency of the step
+// (P*Fave / (P*Fmax); 1 = no PE waits).
+func Efficiency(maxLoad, aveLoad float64) float64 {
+	if maxLoad == 0 {
+		return 0
+	}
+	return aveLoad / maxLoad
+}
+
+// BoundResidual returns f(m, n) - c0OverC: the slack remaining under the
+// paper's theoretical balancing bound (eq. 8). Positive means the measured
+// concentration ratio is still inside the region permanent-cell DLB can
+// balance uniformly; it crossing zero is the predicted breakdown point.
+// NaN when (m, n) is outside the bound's domain (m < 2 or n < 1).
+func BoundResidual(m int, n, c0OverC float64) float64 {
+	f, err := theory.F(m, n)
+	if err != nil {
+		return math.NaN()
+	}
+	return f - c0OverC
+}
+
+// ---- JSONL exporter ----------------------------------------------------
+
+// StepRecord is one per-step JSONL metrics record, the schema
+// `mdrun -metrics` emits. Phase maps are keyed by Phase.String() names.
+// Bound and BoundResidual are omitted when outside the f(m,n) domain.
+type StepRecord struct {
+	Step        int     `json:"step"`
+	StepWallMax float64 `json:"step_wall_max"`
+	StepWallAve float64 `json:"step_wall_ave"`
+
+	PhaseSecsAve map[string]float64 `json:"phase_secs_ave"`
+	PhaseSecsMax map[string]float64 `json:"phase_secs_max"`
+	PhaseMsgs    map[string]int64   `json:"phase_msgs"`
+	PhaseBytes   map[string]int64   `json:"phase_bytes"`
+	// PhaseSecsSumAve is the sum of phase_secs_ave, reported so the
+	// phase-coverage contract (sum within 5% of step_wall_ave) is checkable
+	// from the record alone.
+	PhaseSecsSumAve float64 `json:"phase_secs_sum_ave"`
+
+	WorkMax float64 `json:"work_max"`
+	WorkAve float64 `json:"work_ave"`
+	WorkMin float64 `json:"work_min"`
+
+	LoadRatio  float64 `json:"load_ratio"`
+	Efficiency float64 `json:"efficiency"`
+	Imbalance  float64 `json:"imbalance"`
+	Moved      int     `json:"moved"`
+
+	C0OverC       float64  `json:"c0_over_c"`
+	NFactor       float64  `json:"n_factor"`
+	Bound         *float64 `json:"bound,omitempty"`
+	BoundResidual *float64 `json:"bound_residual,omitempty"`
+}
+
+// NewStepRecord assembles the exportable record from the reduced step
+// quantities. m is the square-pillar cross-section (0 when unknown, e.g.
+// static decompositions — the bound fields are then omitted).
+func NewStepRecord(step int, b Breakdown, stepWallMax, stepWallAve,
+	workMax, workAve, workMin float64, moved int, c0OverC, nFactor float64, m int) StepRecord {
+	rec := StepRecord{
+		Step:        step,
+		StepWallMax: stepWallMax,
+		StepWallAve: stepWallAve,
+
+		PhaseSecsAve: make(map[string]float64, NumPhases),
+		PhaseSecsMax: make(map[string]float64, NumPhases),
+		PhaseMsgs:    make(map[string]int64, NumPhases),
+		PhaseBytes:   make(map[string]int64, NumPhases),
+
+		PhaseSecsSumAve: b.SumAveSecs(),
+
+		WorkMax: workMax, WorkAve: workAve, WorkMin: workMin,
+		LoadRatio:  LoadRatio(workMax, workAve),
+		Efficiency: Efficiency(workMax, workAve),
+		Moved:      moved,
+		C0OverC:    c0OverC, NFactor: nFactor,
+	}
+	if workAve > 0 {
+		rec.Imbalance = (workMax - workMin) / workAve
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		name := ph.String()
+		rec.PhaseSecsAve[name] = b.AveSecs[ph]
+		rec.PhaseSecsMax[name] = b.MaxSecs[ph]
+		rec.PhaseMsgs[name] = b.Msgs[ph]
+		rec.PhaseBytes[name] = b.Bytes[ph]
+	}
+	if m >= 2 {
+		if f, err := theory.F(m, nFactor); err == nil {
+			res := f - c0OverC
+			rec.Bound, rec.BoundResidual = &f, &res
+		}
+	}
+	return rec
+}
+
+// JSONLWriter streams StepRecords as one JSON object per line.
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a writer emitting to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Write emits one record (json.Encoder terminates each with a newline).
+func (jw *JSONLWriter) Write(rec StepRecord) error { return jw.enc.Encode(rec) }
+
+// ---- Prometheus exporter -----------------------------------------------
+
+// Cumulative accumulates per-step breakdowns into run-total counters for
+// Prometheus text-format export.
+type Cumulative struct {
+	Steps        int64
+	StepWallSecs float64 // summed PE-average step wall time
+	Secs         [NumPhases]float64
+	Msgs         [NumPhases]int64
+	Bytes        [NumPhases]int64
+}
+
+// Add folds one finalized step breakdown and its PE-average wall time.
+func (c *Cumulative) Add(stepWallAve float64, b Breakdown) {
+	c.Steps++
+	c.StepWallSecs += stepWallAve
+	for ph := 0; ph < NumPhases; ph++ {
+		c.Secs[ph] += b.AveSecs[ph]
+		c.Msgs[ph] += b.Msgs[ph]
+		c.Bytes[ph] += b.Bytes[ph]
+	}
+}
+
+// WritePrometheus writes the counters in Prometheus text exposition format.
+func (c *Cumulative) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP permcell_steps_total Time steps recorded by the metrics layer.\n")
+	p("# TYPE permcell_steps_total counter\n")
+	p("permcell_steps_total %d\n", c.Steps)
+	p("# HELP permcell_step_wall_seconds_total PE-average whole-step wall seconds, summed over steps.\n")
+	p("# TYPE permcell_step_wall_seconds_total counter\n")
+	p("permcell_step_wall_seconds_total %g\n", c.StepWallSecs)
+	p("# HELP permcell_phase_seconds_total PE-average wall seconds per phase, summed over steps.\n")
+	p("# TYPE permcell_phase_seconds_total counter\n")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		p("permcell_phase_seconds_total{phase=%q} %g\n", ph.String(), c.Secs[ph])
+	}
+	p("# HELP permcell_phase_messages_total Point-to-point messages originated per phase.\n")
+	p("# TYPE permcell_phase_messages_total counter\n")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		p("permcell_phase_messages_total{phase=%q} %d\n", ph.String(), c.Msgs[ph])
+	}
+	p("# HELP permcell_phase_bytes_total Point-to-point payload bytes originated per phase.\n")
+	p("# TYPE permcell_phase_bytes_total counter\n")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		p("permcell_phase_bytes_total{phase=%q} %d\n", ph.String(), c.Bytes[ph])
+	}
+	return err
+}

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		name := ph.String()
+		if name == "" || strings.Contains(name, "(") {
+			t.Fatalf("phase %d has no name", ph)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate phase name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Phase(NumPhases).String(); got != "phase(7)" {
+		t.Errorf("out-of-range name = %q", got)
+	}
+}
+
+// TestNilTimerNoOps pins the disabled path: every method on a nil Timer is
+// a safe no-op, which is what lets the engines thread one pointer through
+// unconditionally.
+func TestNilTimerNoOps(t *testing.T) {
+	var tm *Timer
+	if tm.Enabled() {
+		t.Fatal("nil timer enabled")
+	}
+	t0 := tm.Start()
+	if !t0.IsZero() {
+		t.Fatal("nil Start returned non-zero time")
+	}
+	tm.Stop(PhaseForce, t0)
+	tm.Add(PhaseHalo, 1)
+	tm.Count(PhaseMigrate, 3, 144)
+	if s := tm.TakeSample(); s != (Sample{}) {
+		t.Fatalf("nil TakeSample = %+v", s)
+	}
+}
+
+func TestTimerAccumulateAndReset(t *testing.T) {
+	tm := &Timer{}
+	tm.Add(PhaseForce, 0.25)
+	tm.Add(PhaseForce, 0.25)
+	tm.Count(PhaseHalo, 2, 100)
+	tm.Count(PhaseHalo, 1, 50)
+	t0 := tm.Start()
+	time.Sleep(time.Millisecond)
+	tm.Stop(PhaseIntegrate, t0)
+
+	s := tm.TakeSample()
+	if s.Secs[PhaseForce] != 0.5 {
+		t.Errorf("force secs = %v", s.Secs[PhaseForce])
+	}
+	if s.Msgs[PhaseHalo] != 3 || s.Bytes[PhaseHalo] != 150 {
+		t.Errorf("halo counts = %d msgs %d bytes", s.Msgs[PhaseHalo], s.Bytes[PhaseHalo])
+	}
+	if s.Secs[PhaseIntegrate] <= 0 {
+		t.Errorf("integrate secs = %v", s.Secs[PhaseIntegrate])
+	}
+	if got := s.TotalSecs(); got != s.Secs[PhaseForce]+s.Secs[PhaseIntegrate] {
+		t.Errorf("TotalSecs = %v", got)
+	}
+	if again := tm.TakeSample(); again != (Sample{}) {
+		t.Errorf("sample not reset: %+v", again)
+	}
+}
+
+// TestTimerZeroAlloc is the steady-state allocation contract for the hot
+// half of the package: a full per-step timer cycle allocates nothing, for
+// both the enabled and the disabled (nil) timer.
+func TestTimerZeroAlloc(t *testing.T) {
+	for _, tm := range map[string]*Timer{"enabled": {}, "nil": nil} {
+		tm := tm
+		step := func() {
+			t0 := tm.Start()
+			tm.Stop(PhaseForce, t0)
+			tm.Add(PhaseHalo, 0.001)
+			tm.Count(PhaseMigrate, 8, 384)
+			_ = tm.TakeSample()
+		}
+		if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+			t.Errorf("timer=%v: %v allocs per step cycle, want 0", tm.Enabled(), allocs)
+		}
+	}
+}
+
+func TestBreakdownReduce(t *testing.T) {
+	var b Breakdown
+	a := Sample{}
+	a.Secs[PhaseForce], a.Msgs[PhaseHalo], a.Bytes[PhaseHalo] = 2, 4, 400
+	c := Sample{}
+	c.Secs[PhaseForce], c.Msgs[PhaseHalo], c.Bytes[PhaseHalo] = 4, 6, 600
+	b.Fold(a)
+	b.Fold(c)
+	b.Finalize(2)
+	if b.MaxSecs[PhaseForce] != 4 || b.AveSecs[PhaseForce] != 3 {
+		t.Errorf("force max/ave = %v/%v", b.MaxSecs[PhaseForce], b.AveSecs[PhaseForce])
+	}
+	if b.Msgs[PhaseHalo] != 10 || b.Bytes[PhaseHalo] != 1000 {
+		t.Errorf("halo totals = %d/%d", b.Msgs[PhaseHalo], b.Bytes[PhaseHalo])
+	}
+	if b.SumAveSecs() != 3 {
+		t.Errorf("SumAveSecs = %v", b.SumAveSecs())
+	}
+	if b.SumMsgs() != 10 || b.SumBytes() != 1000 {
+		t.Errorf("sums = %d/%d", b.SumMsgs(), b.SumBytes())
+	}
+}
+
+func TestGauges(t *testing.T) {
+	if r := LoadRatio(4, 2); r != 2 {
+		t.Errorf("LoadRatio = %v", r)
+	}
+	if e := Efficiency(4, 2); e != 0.5 {
+		t.Errorf("Efficiency = %v", e)
+	}
+	if LoadRatio(1, 0) != 0 || Efficiency(0, 1) != 0 {
+		t.Error("degenerate gauges not zero")
+	}
+	// m=2, n=1: f = 3/(7-4) = 1. Residual against C0/C = 0.4 is 0.6.
+	if r := BoundResidual(2, 1, 0.4); math.Abs(r-0.6) > 1e-12 {
+		t.Errorf("BoundResidual = %v", r)
+	}
+	if !math.IsNaN(BoundResidual(1, 1, 0.4)) || !math.IsNaN(BoundResidual(2, 0.5, 0.4)) {
+		t.Error("out-of-domain residual not NaN")
+	}
+}
+
+func TestStepRecordJSONL(t *testing.T) {
+	var b Breakdown
+	s := Sample{}
+	s.Secs[PhaseForce], s.Secs[PhaseHalo] = 0.6, 0.4
+	s.Msgs[PhaseHalo], s.Bytes[PhaseHalo] = 16, 1024
+	b.Fold(s)
+	b.Finalize(1)
+
+	rec := NewStepRecord(7, b, 1.1, 1.0, 300, 200, 100, 1, 0.5, 1.2, 2)
+	var buf bytes.Buffer
+	if err := NewJSONLWriter(&buf).Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("not one line: %q", line)
+	}
+	var back map[string]any
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if back["step"].(float64) != 7 {
+		t.Errorf("step = %v", back["step"])
+	}
+	if back["load_ratio"].(float64) != 1.5 {
+		t.Errorf("load_ratio = %v", back["load_ratio"])
+	}
+	if back["imbalance"].(float64) != 1 {
+		t.Errorf("imbalance = %v", back["imbalance"])
+	}
+	ps := back["phase_secs_ave"].(map[string]any)
+	if ps["force"].(float64) != 0.6 || ps["halo"].(float64) != 0.4 {
+		t.Errorf("phase_secs_ave = %v", ps)
+	}
+	if got := back["phase_secs_sum_ave"].(float64); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("phase_secs_sum_ave = %v", got)
+	}
+	if _, ok := back["bound_residual"]; !ok {
+		t.Error("bound_residual missing for m=2")
+	}
+
+	// Out-of-domain bound (n < 1) must omit the bound fields, keeping the
+	// record valid JSON (NaN would fail to encode).
+	rec = NewStepRecord(1, b, 1, 1, 1, 1, 1, 0, 0.5, 0.2, 2)
+	buf.Reset()
+	if err := NewJSONLWriter(&buf).Write(rec); err != nil {
+		t.Fatalf("out-of-domain record: %v", err)
+	}
+	if strings.Contains(buf.String(), "bound") {
+		t.Errorf("bound fields present out of domain: %s", buf.String())
+	}
+}
+
+func TestCumulativePrometheus(t *testing.T) {
+	var b Breakdown
+	s := Sample{}
+	s.Secs[PhaseForce] = 0.25
+	s.Msgs[PhaseMigrate], s.Bytes[PhaseMigrate] = 8, 512
+	b.Fold(s)
+	b.Finalize(1)
+
+	var c Cumulative
+	c.Add(0.3, b)
+	c.Add(0.3, b)
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"permcell_steps_total 2\n",
+		"permcell_step_wall_seconds_total 0.6\n",
+		`permcell_phase_seconds_total{phase="force"} 0.5`,
+		`permcell_phase_messages_total{phase="migrate"} 16`,
+		`permcell_phase_bytes_total{phase="migrate"} 1024`,
+		"# TYPE permcell_phase_seconds_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package permcell_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"permcell"
+)
+
+// settledGoroutines polls until the live goroutine count drops to at most
+// base (worker teardown is asynchronous), returning the last count seen.
+func settledGoroutines(base int) int {
+	var n int
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+// TestStepGuardsUniform pins the facade-wide Step/Result contract to
+// identical behavior across all three engines: negative counts and Step
+// after Result are rejected with the same messages, Step(0) is a no-op,
+// and Result is idempotent.
+func TestStepGuardsUniform(t *testing.T) {
+	engines := []struct {
+		name string
+		mk   func() (permcell.Engine, error)
+	}{
+		{"parallel", func() (permcell.Engine, error) { return permcell.New(2, 4, 0.2) }},
+		{"static", func() (permcell.Engine, error) { return permcell.NewStatic(permcell.ShapeCube, 4, 8, 0.2) }},
+		{"serial", func() (permcell.Engine, error) { return permcell.NewSerial(4, 0.2) }},
+	}
+	for _, tc := range engines {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Step(-3); err == nil || !strings.Contains(err.Error(), "permcell: negative step count -3") {
+				t.Errorf("Step(-3) err = %v", err)
+			}
+			if err := eng.Step(0); err != nil {
+				t.Errorf("Step(0) err = %v", err)
+			}
+			if err := eng.Step(2); err != nil {
+				t.Fatalf("Step(2) err = %v", err)
+			}
+			res, err := eng.Result()
+			if err != nil {
+				t.Fatalf("Result err = %v", err)
+			}
+			if res == nil || res.Final == nil {
+				t.Fatal("no result")
+			}
+			if err := eng.Step(1); err == nil || !strings.Contains(err.Error(), "permcell: Step after Result") {
+				t.Errorf("Step after Result err = %v", err)
+			}
+			again, err := eng.Result()
+			if err != nil {
+				t.Fatalf("second Result err = %v", err)
+			}
+			if again != res {
+				t.Error("Result not idempotent")
+			}
+		})
+	}
+}
+
+// TestStatsEveryZeroSafe pins the WithStatsEvery(0) fix: it used to reach a
+// modulo-by-zero in the serial and static facade engines.
+func TestStatsEveryZeroSafe(t *testing.T) {
+	for _, mk := range []func() (permcell.Engine, error){
+		func() (permcell.Engine, error) { return permcell.NewSerial(4, 0.2, permcell.WithStatsEvery(0)) },
+		func() (permcell.Engine, error) {
+			return permcell.NewStatic(permcell.ShapeCube, 4, 8, 0.2, permcell.WithStatsEvery(0))
+		},
+	} {
+		eng, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := permcell.RunEngine(context.Background(), eng, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunEngineCancelReleasesGoroutines cancels a run mid-flight and
+// demands both a usable partial result and full teardown of the PE
+// goroutines — the regression test for RunEngine returning without
+// finalizing the engine.
+func TestRunEngineCancelReleasesGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	steps := 0
+	eng, err := permcell.New(2, 4, 0.2, permcell.WithOnStep(func(permcell.StepStats) {
+		if steps++; steps == 3 {
+			cancel()
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := permcell.RunEngine(ctx, eng, 1000)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Final == nil || len(res.Stats) < 3 {
+		t.Fatalf("unusable partial result: %+v", res)
+	}
+	if n := settledGoroutines(base); n > base {
+		t.Errorf("goroutines leaked: %d live, %d before the run", n, base)
+	}
+}
+
+// TestRunEngineStepErrorSalvage injects a stall long enough to trip the
+// batch watchdog, so Step returns a *DeadlockError mid-run. RunEngine must
+// finalize the engine anyway: the stall eventually clears, the best-effort
+// teardown drains the batch under its extended grace, and the caller gets
+// the statistics collected before the failure plus the original error —
+// with no goroutines left behind.
+func TestRunEngineStepErrorSalvage(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng, err := permcell.New(2, 4, 0.2,
+		permcell.WithFaultPlan(permcell.FaultPlan{
+			Seed:   1,
+			Stalls: []permcell.Stall{{Rank: 1, AfterOps: 400, Duration: 300 * time.Millisecond}},
+		}),
+		permcell.WithWatchdog(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := permcell.RunEngine(context.Background(), eng, 500)
+	var dl *permcell.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if res == nil || res.Final == nil || len(res.Stats) == 0 {
+		t.Fatalf("salvage produced no usable partial result: %+v", res)
+	}
+	if n := settledGoroutines(base); n > base {
+		t.Errorf("goroutines leaked: %d live, %d before the run", n, base)
+	}
+}

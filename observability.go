@@ -1,0 +1,32 @@
+package permcell
+
+import "permcell/internal/metrics"
+
+// Phase identifies one slot of the per-step phase taxonomy the
+// observability layer (WithMetrics) attributes wall time and message
+// traffic to. The collectives that implement the statistics gathering
+// itself (the per-step census allgather and the Verify checks) run outside
+// the measured step and are deliberately not part of the taxonomy; see
+// DESIGN.md "Observability".
+type Phase = metrics.Phase
+
+// The phase taxonomy.
+const (
+	PhaseDLBDecide   = metrics.PhaseDLBDecide
+	PhaseDLBTransfer = metrics.PhaseDLBTransfer
+	PhaseIntegrate   = metrics.PhaseIntegrate
+	PhaseMigrate     = metrics.PhaseMigrate
+	PhaseHalo        = metrics.PhaseHalo
+	PhaseForce       = metrics.PhaseForce
+	PhaseCollective  = metrics.PhaseCollective
+	// NumPhases sizes per-phase arrays.
+	NumPhases = metrics.NumPhases
+)
+
+// PhaseBreakdown is the cross-PE reduction of one step's phase samples:
+// per-phase max and average seconds plus total message and byte counts.
+// It appears as StepStats.Phases, populated only under WithMetrics.
+type PhaseBreakdown = metrics.Breakdown
+
+// PhaseSample is one PE's raw per-step phase accumulation.
+type PhaseSample = metrics.Sample

@@ -32,6 +32,7 @@ type Options struct {
 	seed       uint64
 	dt         float64
 	statsEvery int
+	metrics    bool
 	onStep     func(StepStats)
 	discard    bool
 	faults     *FaultPlan
@@ -45,6 +46,12 @@ func buildOptions(opts []Option) Options {
 	o := Options{seed: 1, statsEvery: 1}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	// The facade engines reduce step numbers modulo statsEvery; clamp
+	// WithStatsEvery(0) and negative values to "every step" instead of
+	// letting them reach a modulo-by-zero.
+	if o.statsEvery < 1 {
+		o.statsEvery = 1
 	}
 	return o
 }
@@ -79,7 +86,16 @@ func WithDt(dt float64) Option { return func(o *Options) { o.dt = dt } }
 
 // WithStatsEvery thins the per-step statistics to every k-th step
 // (default 1; the global concentration census costs one small allgather).
+// Values below 1 select the default.
 func WithStatsEvery(k int) Option { return func(o *Options) { o.statsEvery = k } }
+
+// WithMetrics enables the per-phase observability layer: every step's wall
+// time is attributed to the phase taxonomy (force, halo, migrate, DLB
+// decide/transfer, integrate, collectives) and reduced across PEs into
+// StepStats.Phases, together with per-phase message and byte counts. Off
+// (the default), the engines carry a nil timer and the hot path pays one
+// pointer test per phase boundary; see DESIGN.md "Observability".
+func WithMetrics() Option { return func(o *Options) { o.metrics = true } }
 
 // WithOnStep streams each step's statistics to fn as the run progresses.
 // For the parallel engines fn runs on rank 0's goroutine and must not call
