@@ -1,0 +1,257 @@
+package permcell
+
+import (
+	"fmt"
+	"os"
+
+	"permcell/internal/checkpoint"
+	"permcell/internal/core"
+	"permcell/internal/corestatic"
+	"permcell/internal/decomp"
+	"permcell/internal/experiments"
+	"permcell/internal/mdserial"
+	"permcell/internal/potential"
+	"permcell/internal/units"
+)
+
+// Checkpointer is implemented by every facade Engine. Checkpoint writes a
+// coordinated snapshot immediately, at the current step boundary, into the
+// directory configured with WithCheckpoint; it fails when no directory was
+// configured. The engine remains usable afterwards.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// CheckpointNow writes an immediate checkpoint for any Engine that supports
+// it (all engines constructed by this package do).
+func CheckpointNow(eng Engine) error {
+	c, ok := eng.(Checkpointer)
+	if !ok {
+		return fmt.Errorf("permcell: engine does not support checkpointing")
+	}
+	return c.Checkpoint()
+}
+
+// snapEngine is the backend surface the checkpoint writer drives: both
+// parallel cores expose it.
+type snapEngine interface {
+	Step(n int) error
+	AbsStep() int
+	Snapshot() (*checkpoint.EngineState, error)
+}
+
+// ckptWriter holds a facade engine's checkpoint policy: the cadence, the
+// target directory, and the Meta template carrying the run identity. The
+// zero value is inert (no checkpointing).
+type ckptWriter struct {
+	every int
+	dir   string
+	meta  checkpoint.Meta
+}
+
+func newCkptWriter(o Options, meta checkpoint.Meta) ckptWriter {
+	return ckptWriter{every: o.ckptEvery, dir: o.ckptDir, meta: meta}
+}
+
+func (w *ckptWriter) active() bool { return w.dir != "" }
+
+// stepWithCheckpoints advances eng by n steps, pausing at every absolute
+// multiple of w.every to snapshot and write a checkpoint. With no cadence
+// configured it degrades to a plain Step.
+func (w *ckptWriter) stepWithCheckpoints(eng snapEngine, n int) error {
+	if w.every <= 0 || !w.active() {
+		return eng.Step(n)
+	}
+	for n > 0 {
+		chunk := w.every - eng.AbsStep()%w.every
+		if chunk > n {
+			chunk = n
+		}
+		if err := eng.Step(chunk); err != nil {
+			return err
+		}
+		n -= chunk
+		if eng.AbsStep()%w.every == 0 {
+			if err := w.write(eng); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// write snapshots eng and saves the checkpoint.
+func (w *ckptWriter) write(eng snapEngine) error {
+	if !w.active() {
+		return fmt.Errorf("permcell: no checkpoint directory configured (use WithCheckpoint)")
+	}
+	st, err := eng.Snapshot()
+	if err != nil {
+		return err
+	}
+	return w.save(st.Step, st.CommMsgs, st.CommBytes, st.Frames)
+}
+
+// save fills the Meta template's per-snapshot fields and writes the file
+// (atomically, rotating latest -> previous).
+func (w *ckptWriter) save(step int, msgs, bytes int64, frames []checkpoint.Frame) error {
+	if !w.active() {
+		return fmt.Errorf("permcell: no checkpoint directory configured (use WithCheckpoint)")
+	}
+	m := w.meta
+	m.Version = checkpoint.FormatVersion
+	m.Step = step
+	m.CommMsgs, m.CommBytes = msgs, bytes
+	if _, err := checkpoint.Save(w.dir, &m, frames); err != nil {
+		return fmt.Errorf("permcell: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore reconstructs an Engine from a checkpoint written under
+// WithCheckpoint (or CheckpointNow). path may be the checkpoint file itself
+// or the checkpoint directory, in which case the latest checkpoint is used
+// and, should it fail its integrity checks, the retained previous one.
+//
+// The run identity — engine kind, paper coordinates, physics options, seed,
+// time step, shard count — travels inside the checkpoint and is restored
+// from it; options that would change the physics (WithSeed, WithDt,
+// WithShards, WithDLB, WithWells, WithHysteresis, WithStatsEvery) are
+// ignored. Runtime options (WithOnStep, WithDiscardStats, WithMetrics,
+// WithFaultPlan, WithWatchdog, WithCheckpoint) apply normally, so a
+// restored run can keep checkpointing into the same directory. The restored
+// engine's subsequent trace is bit-identical to the uninterrupted run's:
+// step counters continue from the snapshot point, per-PE particle order and
+// DLB cell ownership are reinstated exactly, and cumulative communication
+// counters carry over.
+func Restore(path string, opts ...Option) (Engine, error) {
+	meta, frames, err := loadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	// Physics options come from the file, not the caller (see doc comment).
+	o.dlb = meta.DLB
+	o.wells = meta.Wells
+	o.wellK = meta.WellK
+	o.hysteresis = meta.Hysteresis
+	o.seed = meta.Seed
+	o.dt = meta.Dt
+	o.shards = meta.Shards
+	o.statsEvery = meta.StatsEvery
+	if o.statsEvery < 1 {
+		o.statsEvery = 1
+	}
+	st := &checkpoint.EngineState{
+		Step:      meta.Step,
+		Frames:    frames,
+		CommMsgs:  meta.CommMsgs,
+		CommBytes: meta.CommBytes,
+	}
+	switch meta.Kind {
+	case checkpoint.KindDLB:
+		return restoreParallel(meta, st, o)
+	case checkpoint.KindStatic:
+		return restoreStatic(meta, st, o)
+	case checkpoint.KindSerial:
+		return restoreSerial(meta, st, o)
+	default:
+		return nil, fmt.Errorf("permcell: checkpoint has unknown engine kind %q", meta.Kind)
+	}
+}
+
+func loadCheckpoint(path string) (*checkpoint.Meta, []checkpoint.Frame, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("permcell: %w", err)
+	}
+	if fi.IsDir() {
+		meta, frames, _, err := checkpoint.LoadDir(path)
+		return meta, frames, err
+	}
+	meta, frames, err := checkpoint.Load(path)
+	return meta, frames, err
+}
+
+func restoreParallel(meta *checkpoint.Meta, st *checkpoint.EngineState, o Options) (Engine, error) {
+	spec := experiments.RunSpec{
+		M: meta.M, P: meta.P, Rho: meta.Rho, DLB: meta.DLB, Seed: meta.Seed, Dt: meta.Dt,
+		Wells: meta.Wells, WellK: meta.WellK, Hysteresis: meta.Hysteresis,
+		StatsEvery: o.statsEvery, Shards: meta.Shards, Metrics: o.metrics,
+	}
+	// The regenerated system supplies the box, grid and potentials only:
+	// the restore path repopulates every PE from its frame instead of
+	// redistributing the initial condition.
+	cfg, sys, _, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	cfg.OnStep = o.onStep
+	cfg.DiscardStats = o.discard
+	cfg.Faults = o.faults
+	cfg.Watchdog = o.watchdog
+	cfg.Restore = st
+	eng, err := core.NewEngine(cfg, sys)
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	return &parallelEngine{eng: eng, ckpt: newCkptWriter(o, metaTemplate(meta))}, nil
+}
+
+func restoreStatic(meta *checkpoint.Meta, st *checkpoint.EngineState, o Options) (Engine, error) {
+	sys, g, ext, err := buildSystem(meta.NC, meta.Rho, o)
+	if err != nil {
+		return nil, err
+	}
+	cfg := corestatic.Config{
+		Shape: decomp.Shape(meta.Shape), P: meta.P, Grid: g,
+		Pair: potential.NewPaperLJ(), Ext: ext,
+		Dt: o.dtOrDefault(), Tref: units.PaperTref, RescaleEvery: units.PaperRescaleInterval,
+		Shards: meta.Shards, Metrics: o.metrics, Faults: o.faults, Watchdog: o.watchdog,
+		Restore: st,
+	}
+	eng, err := corestatic.NewEngine(cfg, sys)
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	return &staticEngine{eng: eng, o: o, ckpt: newCkptWriter(o, metaTemplate(meta))}, nil
+}
+
+func restoreSerial(meta *checkpoint.Meta, st *checkpoint.EngineState, o Options) (Engine, error) {
+	if len(st.Frames) != 1 {
+		return nil, fmt.Errorf("permcell: serial checkpoint has %d frames, want 1", len(st.Frames))
+	}
+	set, err := st.Frames[0].SetOf()
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	// buildSystem regenerates the box, grid and well placement from the
+	// stored seed; its particle set is discarded in favor of the frame's.
+	sys, g, ext, err := buildSystem(meta.NC, meta.Rho, o)
+	if err != nil {
+		return nil, err
+	}
+	lj, err := potential.NewLJ(1, 1, units.PaperCutoff, true)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := mdserial.New(mdserial.Config{
+		Box: sys.Box, Pair: lj, Ext: ext,
+		Dt: o.dtOrDefault(), Grid: g, Shards: meta.Shards, Metrics: o.metrics,
+		StartStep: meta.Step,
+	}, set)
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	return &serialEngine{eng: eng, o: o, ckpt: newCkptWriter(o, metaTemplate(meta))}, nil
+}
+
+// metaTemplate strips the per-snapshot fields from a loaded Meta so the
+// restored engine's own writer refills them at each save.
+func metaTemplate(meta *checkpoint.Meta) checkpoint.Meta {
+	m := *meta
+	m.Step = 0
+	m.CommMsgs, m.CommBytes = 0, 0
+	m.RNG = nil
+	return m
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	chaos -seed 1 -p 36 -steps 200
+//	chaos -seed 1 -p 36 -steps 200 -kill-at 80
 //
 // The default plan injects latency jitter, bounded message reordering,
 // transient send failures (absorbed by retry/backoff) and one mid-run PE
@@ -14,6 +15,12 @@
 // failure reported here is replayable bit for bit by re-running the same
 // command line. A deadlock does not hang: the watchdog aborts with a
 // per-rank state dump. Exit status is non-zero if the replay diverges.
+//
+// -kill-at selects the kill-and-recover scenario instead: the faulty run is
+// hard-stopped after that many steps, keeping nothing but the checkpoint
+// file, then recovered strictly from the file and finished; the combined
+// trace must be identical to the uninterrupted run's. Exit status is
+// non-zero if recovery diverges.
 package main
 
 import (
@@ -43,6 +50,8 @@ func main() {
 	stallDur := flag.Duration("stall-dur", 5*time.Millisecond, "duration of each stall")
 	watchdog := flag.Duration("watchdog", 2*time.Minute, "deadlock watchdog timeout (0 disables)")
 	eventsOut := flag.String("events", "", "write the replay run's fault-event CSV to this file")
+	killAt := flag.Int("kill-at", 0, "kill-and-recover scenario: hard-stop after this many steps, recover from the checkpoint, diff against the uninterrupted trace (0 = replay scenario)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory for -kill-at (default: a temporary directory)")
 
 	flag.Parse()
 
@@ -75,6 +84,11 @@ func main() {
 	fmt.Printf("chaos: P=%d m=%d rho=%g steps=%d seed=%d shards=%d\n", *p, *m, *rho, *steps, *seed, *shards)
 	fmt.Printf("plan: delay %.2g<=%v reorder %.2g(depth %d) fail %.2g stalls %d x %v watchdog %v\n",
 		*delayProb, *maxDelay, *reorderProb, *reorderDepth, *failProb, *stalls, *stallDur, *watchdog)
+
+	if *killAt > 0 {
+		killResume(spec, *killAt, *ckptDir)
+		return
+	}
 
 	var hashes [2]uint64
 	for run := 0; run < 2; run++ {
@@ -114,4 +128,38 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("replay identical: same seed, same trace")
+}
+
+// killResume runs the kill-and-recover scenario and exits non-zero when the
+// recovered trace diverges from the uninterrupted one.
+func killResume(spec experiments.ChaosSpec, killAt int, dir string) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-ckpt-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	t0 := time.Now()
+	r, err := spec.KillResume(killAt, dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kill-resume: N=%d C=%d killed at step %d, recovered from %s in %v\n",
+		r.Info.N, r.Info.C, r.KillAt, r.CkptPath, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  golden faults: %d delays, %d reorders, %d failures (%d retries), %d stalls\n",
+		r.GoldenFaults.Delays, r.GoldenFaults.Reorders, r.GoldenFaults.Failures,
+		r.GoldenFaults.Retries, r.GoldenFaults.Stalls)
+	fmt.Printf("  resumed faults: %d delays, %d reorders, %d failures (%d retries), %d stalls\n",
+		r.ResumedFaults.Delays, r.ResumedFaults.Reorders, r.ResumedFaults.Failures,
+		r.ResumedFaults.Retries, r.ResumedFaults.Stalls)
+	if !r.Match() {
+		fmt.Fprintf(os.Stderr, "chaos: RECOVERY DIVERGED: golden %016x vs resumed %016x\n",
+			r.GoldenHash, r.ResumedHash)
+		os.Exit(1)
+	}
+	fmt.Printf("recovery identical: golden trace %016x reproduced across kill and restore\n", r.GoldenHash)
 }

@@ -8,11 +8,21 @@
 //	mdrun [-m 3] [-p 16] [-rho 0.256] [-steps 600] [-dlb] [-wells 12]
 //	      [-wellk 1.5] [-dt 0.005] [-hyst 0.1] [-seed 1] [-shards 1]
 //	      [-o out.csv] [-metrics phases.jsonl] [-prom metrics.prom]
+//	      [-checkpoint-every 500] [-checkpoint-dir ckpt] [-resume ckpt]
 //	      [-cpuprofile cpu.pprof] [-trace trace.out]
 //
 // Rows stream as the simulation advances (the run is O(1) in memory), so a
 // long run can be watched with tail -f. Interrupting with Ctrl-C stops at
-// the next step boundary and still flushes a complete CSV prefix.
+// the next step boundary, writes a final checkpoint when -checkpoint-dir is
+// set, and still flushes a complete CSV prefix.
+//
+// -checkpoint-dir enables checkpointing into the given directory (an
+// atomic latest/previous pair); -checkpoint-every adds an automatic cadence
+// in simulation steps. -resume restarts from a checkpoint file or directory
+// and runs -steps further steps; the run identity (m, p, rho, dlb, seed,
+// dt, ...) is restored from the checkpoint and the corresponding flags are
+// ignored, so the resumed trajectory is bit-identical to the uninterrupted
+// run.
 //
 // -metrics enables the per-phase observability layer and streams one JSON
 // record per step (phase wall times, message/byte counts, imbalance gauges
@@ -52,9 +62,17 @@ func main() {
 	out := flag.String("o", "", "CSV output path (default stdout)")
 	metricsOut := flag.String("metrics", "", "per-phase JSONL output path (enables the observability layer; \"-\" = stdout)")
 	promOut := flag.String("prom", "", "Prometheus text snapshot path, written at exit (implies -metrics collection)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "write a checkpoint every N steps (0 = only at interrupt)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (enables checkpointing)")
+	resume := flag.String("resume", "", "resume from a checkpoint file or directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *ckptEvery > 0 && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "mdrun: -checkpoint-every requires -checkpoint-dir")
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -163,8 +181,27 @@ func main() {
 	if collect {
 		opts = append(opts, permcell.WithMetrics())
 	}
+	if *ckptDir != "" {
+		opts = append(opts, permcell.WithCheckpoint(*ckptEvery, *ckptDir))
+	}
 
-	res, err := permcell.Run(ctx, *m, *p, *rho, *steps, opts...)
+	var eng permcell.Engine
+	var err error
+	if *resume != "" {
+		// Physics flags are ignored: the run identity travels in the file.
+		eng, err = permcell.Restore(*resume, opts...)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "mdrun: resumed from %s\n", *resume)
+		}
+	} else {
+		eng, err = permcell.New(*m, *p, *rho, opts...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdrun:", err)
+		os.Exit(1)
+	}
+
+	res, err := drive(ctx, eng, *steps, *ckptDir != "")
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "mdrun: interrupted; partial run flushed")
 		err = nil
@@ -191,4 +228,32 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mdrun: N=%d dlb=%v shards=%d msgs=%d bytes=%d\n",
 		res.Final.Len(), *dlbOn, *shards, res.CommMsgs, res.CommBytes)
+}
+
+// drive mirrors permcell.RunEngine, adding one behavior: on cancellation it
+// writes a final checkpoint (when checkpointing is configured) before
+// finalizing the engine, so an interrupted run can resume from the exact
+// step it stopped at rather than the last cadence boundary.
+func drive(ctx context.Context, eng permcell.Engine, steps int, ckpt bool) (*permcell.Result, error) {
+	for i := 0; i < steps; i++ {
+		if ctx.Err() != nil {
+			if ckpt {
+				if cerr := permcell.CheckpointNow(eng); cerr != nil {
+					fmt.Fprintln(os.Stderr, "mdrun: final checkpoint failed:", cerr)
+				} else {
+					fmt.Fprintln(os.Stderr, "mdrun: final checkpoint written")
+				}
+			}
+			res, rerr := eng.Result()
+			if rerr != nil {
+				return res, rerr
+			}
+			return res, ctx.Err()
+		}
+		if err := eng.Step(1); err != nil {
+			res, _ := eng.Result()
+			return res, err
+		}
+	}
+	return eng.Result()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"permcell/internal/checkpoint"
 	"permcell/internal/conc"
 	"permcell/internal/core"
 	"permcell/internal/corestatic"
@@ -71,7 +72,12 @@ func New(m, p int, rho float64, opts ...Option) (Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
 	}
-	return &parallelEngine{eng: eng}, nil
+	meta := checkpoint.Meta{
+		Kind: checkpoint.KindDLB, M: m, P: p, Rho: rho,
+		DLB: o.dlb, Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
+		Seed: o.seed, Dt: o.dtOrDefault(), Shards: o.shards, StatsEvery: o.statsEvery,
+	}
+	return &parallelEngine{eng: eng, ckpt: newCkptWriter(o, meta)}, nil
 }
 
 // Run executes steps time steps of the parallel engine and returns the
@@ -124,6 +130,7 @@ func guardStep(finished bool, n int) error {
 // parallelEngine adapts core.Engine to the facade interface.
 type parallelEngine struct {
 	eng      *core.Engine
+	ckpt     ckptWriter
 	finished bool
 }
 
@@ -131,12 +138,20 @@ func (e *parallelEngine) Step(n int) error {
 	if err := guardStep(e.finished, n); err != nil {
 		return err
 	}
-	return e.eng.Step(n)
+	return e.ckpt.stepWithCheckpoints(e.eng, n)
 }
 func (e *parallelEngine) Stats() []StepStats { return e.eng.Stats() }
 func (e *parallelEngine) Result() (*Result, error) {
 	e.finished = true
 	return e.eng.Finish() // idempotent: memoizes its own outcome
+}
+
+// Checkpoint writes an immediate checkpoint at the current step boundary.
+func (e *parallelEngine) Checkpoint() error {
+	if e.finished {
+		return fmt.Errorf("permcell: Checkpoint after Result")
+	}
+	return e.ckpt.write(e.eng)
 }
 
 // buildSystem constructs the shared serial/static setup: a box of nc cells
@@ -201,7 +216,12 @@ func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, err
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
 	}
-	return &staticEngine{eng: eng, o: o}, nil
+	meta := checkpoint.Meta{
+		Kind: checkpoint.KindStatic, Shape: int(shape), NC: nc, P: p, Rho: rho,
+		Wells: o.wells, WellK: o.wellK,
+		Seed: o.seed, Dt: o.dtOrDefault(), Shards: o.shards, StatsEvery: o.statsEvery,
+	}
+	return &staticEngine{eng: eng, o: o, ckpt: newCkptWriter(o, meta)}, nil
 }
 
 // staticEngine adapts corestatic.Engine, folding its narrower per-step
@@ -211,6 +231,7 @@ func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, err
 type staticEngine struct {
 	eng      *corestatic.Engine
 	o        Options
+	ckpt     ckptWriter
 	stats    []StepStats
 	seen     int
 	finished bool
@@ -222,11 +243,19 @@ func (e *staticEngine) Step(n int) error {
 	if err := guardStep(e.finished, n); err != nil {
 		return err
 	}
-	if err := e.eng.Step(n); err != nil {
+	if err := e.ckpt.stepWithCheckpoints(e.eng, n); err != nil {
 		return err
 	}
 	e.drain()
 	return nil
+}
+
+// Checkpoint writes an immediate checkpoint at the current step boundary.
+func (e *staticEngine) Checkpoint() error {
+	if e.finished {
+		return fmt.Errorf("permcell: Checkpoint after Result")
+	}
+	return e.ckpt.write(e.eng)
 }
 
 func (e *staticEngine) drain() {
@@ -297,13 +326,19 @@ func NewSerial(nc int, rho float64, opts ...Option) (Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
 	}
-	return &serialEngine{eng: eng, o: o}, nil
+	meta := checkpoint.Meta{
+		Kind: checkpoint.KindSerial, NC: nc, Rho: rho,
+		Wells: o.wells, WellK: o.wellK,
+		Seed: o.seed, Dt: o.dtOrDefault(), Shards: o.shards, StatsEvery: o.statsEvery,
+	}
+	return &serialEngine{eng: eng, o: o, ckpt: newCkptWriter(o, meta)}, nil
 }
 
 // serialEngine adapts mdserial.Engine, synthesizing the one-PE census.
 type serialEngine struct {
 	eng   *mdserial.Engine
 	o     Options
+	ckpt  ckptWriter
 	stats []StepStats
 	res   *Result
 	err   error
@@ -319,6 +354,11 @@ func (e *serialEngine) Step(n int) error {
 	for i := 0; i < n; i++ {
 		e.eng.Step()
 		step := e.eng.StepCount()
+		if e.ckpt.every > 0 && e.ckpt.active() && step%e.ckpt.every == 0 {
+			if err := e.Checkpoint(); err != nil {
+				return err
+			}
+		}
 		// Drain the phase accumulator every step so each emitted record
 		// describes only its own step, matching the parallel engines.
 		sample := e.eng.TakePhaseSample()
@@ -351,6 +391,16 @@ func (e *serialEngine) Step(n int) error {
 		}
 	}
 	return nil
+}
+
+// Checkpoint writes an immediate checkpoint at the current step.
+func (e *serialEngine) Checkpoint() error {
+	if e.res != nil {
+		return fmt.Errorf("permcell: Checkpoint after Result")
+	}
+	var fr checkpoint.Frame
+	checkpoint.CaptureFrame(&fr, 0, e.eng.Set(), nil)
+	return e.ckpt.save(e.eng.StepCount(), 0, 0, []checkpoint.Frame{fr})
 }
 
 func (e *serialEngine) Stats() []StepStats { return e.stats }

@@ -1,0 +1,139 @@
+// Package checkpoint is the distributed checkpoint/restart layer shared by
+// all three engines (internal/core, internal/corestatic, internal/mdserial
+// via the facade). A checkpoint is one file holding a Meta section — the
+// run's identity: engine kind, paper coordinates, physics options, step
+// counter, cumulative communication counters — followed by one Frame per
+// PE: that PE's particle arrays *in their live in-memory order* plus the
+// columns it currently hosts. Preserving the per-PE array order is what
+// makes a restored run bit-identical to the uninterrupted one: cell-list
+// binning and force accumulation follow array order, so a reordered restore
+// would change floating-point summation order.
+//
+// The file format is versioned and CRC-checked per section (see file.go),
+// written atomically (tmp + rename) with a retained latest/previous pair,
+// so a crash mid-write or a corrupted latest file never loses the run: the
+// previous checkpoint still loads.
+package checkpoint
+
+import (
+	"fmt"
+
+	"permcell/internal/particle"
+	"permcell/internal/vec"
+)
+
+// Engine kinds recorded in Meta.Kind.
+const (
+	KindDLB    = "dlb"    // internal/core: DDM / DLB-DDM parallel engine
+	KindStatic = "static" // internal/corestatic: static-decomposition engine
+	KindSerial = "serial" // internal/mdserial: serial reference engine
+)
+
+// Meta is the checkpoint header: everything needed to rebuild the engine
+// configuration exactly (the run identity) plus the counters that carry
+// across a restart. New fields may be appended in later versions; gob
+// decodes older frames with the new fields zero-valued.
+type Meta struct {
+	// Version is the frame-format version (see FormatVersion).
+	Version int
+	// Kind is the engine kind (KindDLB, KindStatic, KindSerial).
+	Kind string
+	// Step is the absolute time step the snapshot was taken at.
+	Step int
+
+	// Constructor coordinates. KindDLB uses M/P/Rho (grid side m*sqrt(P));
+	// KindStatic uses Shape/NC/P/Rho; KindSerial uses NC/Rho.
+	M, P  int
+	NC    int
+	Shape int
+	Rho   float64
+
+	// Physics options — part of the run identity: restoring with different
+	// values would break bit-identical resume, so they travel in the file.
+	DLB        bool
+	Wells      int
+	WellK      float64
+	Hysteresis float64
+	Seed       uint64
+	Dt         float64
+	Shards     int
+	StatsEvery int
+
+	// Cumulative communication counters at snapshot time, so a resumed
+	// run's totals continue from the interrupted run's.
+	CommMsgs, CommBytes int64
+
+	// RNG is the state of any auxiliary generator stream that must resume
+	// exactly (captured with rng.Source.State; nil when the engine carries
+	// no live generator, as the current deterministic thermostats do not).
+	RNG []uint64
+}
+
+// Frame is one PE's shard of the distributed state.
+type Frame struct {
+	// Rank is the owning PE (0 for the serial engine).
+	Rank int
+	// ID/Pos/Vel are the particle arrays in the PE's live order. Forces are
+	// not stored: every engine recomputes them from positions at restore,
+	// exactly as it does at step 0.
+	ID  []int64
+	Pos []vec.V
+	Vel []vec.V
+	// Cols lists the columns this PE currently hosts (DLB engine only; nil
+	// for the static and serial engines, whose ownership is implied by the
+	// decomposition).
+	Cols []int
+}
+
+// SetOf rebuilds the frame's particle set, preserving array order.
+func (f *Frame) SetOf() (*particle.Set, error) {
+	if len(f.ID) != len(f.Pos) || len(f.Pos) != len(f.Vel) {
+		return nil, fmt.Errorf("checkpoint: rank %d frame has ragged arrays id=%d pos=%d vel=%d",
+			f.Rank, len(f.ID), len(f.Pos), len(f.Vel))
+	}
+	s := &particle.Set{}
+	for i := range f.ID {
+		s.Add(f.ID[i], f.Pos[i], f.Vel[i])
+	}
+	return s, nil
+}
+
+// CaptureFrame records a particle set into fr (fresh slices, live order).
+func CaptureFrame(fr *Frame, rank int, s *particle.Set, cols []int) {
+	fr.Rank = rank
+	fr.ID = append([]int64(nil), s.ID...)
+	fr.Pos = append([]vec.V(nil), s.Pos...)
+	fr.Vel = append([]vec.V(nil), s.Vel...)
+	fr.Cols = append([]int(nil), cols...)
+}
+
+// EngineState is the assembled distributed snapshot an engine produces
+// (Engine.Snapshot) and consumes (Config.Restore): the step counter, one
+// frame per rank, and the cumulative communication counters.
+type EngineState struct {
+	Step                int
+	Frames              []Frame
+	CommMsgs, CommBytes int64
+}
+
+// Validate checks the state's structural invariants: one frame per rank in
+// rank order, rectangular particle arrays, and a non-negative step.
+func (st *EngineState) Validate(p int) error {
+	if st.Step < 0 {
+		return fmt.Errorf("checkpoint: negative step %d", st.Step)
+	}
+	if len(st.Frames) != p {
+		return fmt.Errorf("checkpoint: %d frames for %d ranks", len(st.Frames), p)
+	}
+	for r := range st.Frames {
+		f := &st.Frames[r]
+		if f.Rank != r {
+			return fmt.Errorf("checkpoint: frame %d claims rank %d", r, f.Rank)
+		}
+		if len(f.ID) != len(f.Pos) || len(f.Pos) != len(f.Vel) {
+			return fmt.Errorf("checkpoint: rank %d frame has ragged arrays id=%d pos=%d vel=%d",
+				r, len(f.ID), len(f.Pos), len(f.Vel))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File layout:
+//
+//	magic (8 bytes) | version uint32 | frameCount uint32 |
+//	section(Meta) | section(Frame) * frameCount
+//
+// where each section is
+//
+//	length uint32 | crc32(payload) uint32 | payload (gob)
+//
+// All integers are little-endian. Truncation surfaces as an unexpected-EOF
+// error; any bit flip inside a payload fails that section's CRC; a flipped
+// length either fails the CRC of the misframed payload or runs off the end
+// of the file. Loading never panics on hostile input.
+
+// FormatVersion is the current frame-format version. The policy is strictly
+// additive within a version: new Meta fields decode as zero from older
+// files. A breaking layout change bumps the version; Load rejects versions
+// it does not know rather than misreading them.
+const FormatVersion = 1
+
+var magic = [8]byte{'P', 'C', 'C', 'K', 'P', 'T', 0, '\n'}
+
+// Default file names inside a checkpoint directory. Save rotates the pair:
+// the old latest becomes previous, so one corrupted or half-written file
+// never strands the run.
+const (
+	LatestName   = "latest.ckpt"
+	PreviousName = "previous.ckpt"
+	tmpName      = "checkpoint.tmp"
+)
+
+// maxSection bounds a single section to guard length fields corrupted into
+// absurd allocations (1 GiB is far above any realistic shard).
+const maxSection = 1 << 30
+
+func writeSection(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("checkpoint: encoding section: %w", err)
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(buf.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(buf.Bytes()))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readSection(r io.Reader, v any) error {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("checkpoint: reading section header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxSection {
+		return fmt.Errorf("checkpoint: section length %d exceeds limit (corrupt header?)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("checkpoint: reading section payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return fmt.Errorf("checkpoint: section CRC mismatch (got %08x, want %08x): file is corrupt", got, want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("checkpoint: decoding section: %w", err)
+	}
+	return nil
+}
+
+// Encode writes a complete checkpoint stream.
+func Encode(w io.Writer, meta *Meta, frames []Frame) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(meta.Version))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(frames)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeSection(bw, meta); err != nil {
+		return err
+	}
+	for i := range frames {
+		if err := writeSection(bw, &frames[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a checkpoint stream written by Encode, verifying the magic,
+// version and every section CRC.
+func Decode(r io.Reader) (*Meta, []Frame, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, nil, fmt.Errorf("checkpoint: bad magic %q: not a checkpoint file", m[:])
+	}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: reading header: %w", err)
+	}
+	version := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	count := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if version < 1 || version > FormatVersion {
+		return nil, nil, fmt.Errorf("checkpoint: unsupported format version %d (this build reads <= %d)", version, FormatVersion)
+	}
+	if count < 0 || count > 1<<20 {
+		return nil, nil, fmt.Errorf("checkpoint: implausible frame count %d (corrupt header?)", count)
+	}
+	meta := &Meta{}
+	if err := readSection(br, meta); err != nil {
+		return nil, nil, err
+	}
+	if meta.Version != version {
+		return nil, nil, fmt.Errorf("checkpoint: header version %d disagrees with meta version %d", version, meta.Version)
+	}
+	frames := make([]Frame, count)
+	for i := range frames {
+		if err := readSection(br, &frames[i]); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: frame %d: %w", i, err)
+		}
+	}
+	// Trailing bytes mean the file was not produced by Encode (or was
+	// spliced); reject rather than silently ignore.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, nil, fmt.Errorf("checkpoint: trailing data after %d frames", count)
+	}
+	return meta, frames, nil
+}
+
+// Save writes one checkpoint into dir atomically and rotates the retained
+// pair: the stream lands in a temporary file first, the existing latest (if
+// any) is renamed to previous, then the temporary file is renamed to
+// latest. A crash at any point leaves at least one complete, loadable file.
+// It returns the path of the new latest file.
+func Save(dir string, meta *Meta, frames []Frame) (string, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	m := *meta
+	m.Version = FormatVersion
+	tmp := filepath.Join(dir, tmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	err = Encode(f, &m, frames)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: writing %s: %w", tmp, err)
+	}
+	latest := filepath.Join(dir, LatestName)
+	if _, serr := os.Stat(latest); serr == nil {
+		if err := os.Rename(latest, filepath.Join(dir, PreviousName)); err != nil {
+			os.Remove(tmp)
+			return "", fmt.Errorf("checkpoint: rotating previous: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, latest); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	return latest, nil
+}
+
+// Load reads and verifies one checkpoint file.
+func Load(path string) (*Meta, []Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// LoadDir loads the newest loadable checkpoint in dir: latest.ckpt first,
+// falling back to previous.ckpt when latest is missing or corrupt (the
+// retained-pair policy's whole point). The returned path says which file
+// was used; the error reports both failures when neither loads.
+func LoadDir(dir string) (*Meta, []Frame, string, error) {
+	latest := filepath.Join(dir, LatestName)
+	meta, frames, lerr := Load(latest)
+	if lerr == nil {
+		return meta, frames, latest, nil
+	}
+	prev := filepath.Join(dir, PreviousName)
+	meta, frames, perr := Load(prev)
+	if perr == nil {
+		return meta, frames, prev, nil
+	}
+	return nil, nil, "", fmt.Errorf("checkpoint: no loadable checkpoint in %s: latest: %v; previous: %v", dir, lerr, perr)
+}

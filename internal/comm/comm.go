@@ -128,6 +128,41 @@ func (w *World) Stats() (msgs, bytes int64) {
 	return w.msgs.Load(), w.bytes.Load()
 }
 
+// Quiesced verifies that no messages are in flight: every rank's inbox is
+// empty. Checkpoint drivers call it at a batch boundary — after every rank
+// has acknowledged the batch, which provides the happens-before edge — to
+// assert the snapshot captures a complete state with nothing still traveling.
+// Each rank's private receive buffer and fault-layer holds are checked by
+// that rank itself via Comm.Quiesced.
+func (w *World) Quiesced() error {
+	for r, in := range w.inbox {
+		if n := len(in); n > 0 {
+			return fmt.Errorf("comm: not quiesced: rank %d inbox holds %d undelivered message(s)", r, n)
+		}
+	}
+	return nil
+}
+
+// Quiesced verifies this rank has no communication state pending: its
+// receive buffer holds no unmatched messages and (under a fault plan) none
+// of its outgoing links is holding back a reordered message. Ranks call it
+// at their snapshot point before serializing local state.
+func (c *Comm) Quiesced() error {
+	if n := len(c.pending); n > 0 {
+		m := c.pending[0]
+		return fmt.Errorf("comm: not quiesced: rank %d buffers %d unmatched message(s) (first: src=%d tag=%d)",
+			c.rank, n, m.src, m.tag)
+	}
+	if fs := c.w.fs; fs != nil {
+		for dst, lk := range fs.links[c.rank] {
+			if n := len(lk.held); n > 0 {
+				return fmt.Errorf("comm: not quiesced: rank %d holds %d reordered message(s) for rank %d", c.rank, n, dst)
+			}
+		}
+	}
+	return nil
+}
+
 // Run spawns fn on every rank as a goroutine and blocks until all return.
 // It is the moral equivalent of mpirun.
 func (w *World) Run(fn func(c *Comm)) {

@@ -1,0 +1,81 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuiescedEmptyWorld(t *testing.T) {
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Quiesced(); err != nil {
+		t.Fatalf("fresh world not quiesced: %v", err)
+	}
+}
+
+func TestQuiescedDetectsInFlightMessage(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Send(1, 7, "hello")
+	err = w.Quiesced()
+	if err == nil || !strings.Contains(err.Error(), "inbox") {
+		t.Fatalf("undelivered message not detected: %v", err)
+	}
+	c1.Recv(0, 7)
+	if err := w.Quiesced(); err != nil {
+		t.Fatalf("drained world not quiesced: %v", err)
+	}
+}
+
+func TestCommQuiescedDetectsPendingBuffer(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := w.Comm(0), w.Comm(1)
+	// Rank 1 receives tag 2 while tag 1 is also queued; the tag-1 message
+	// lands in rank 1's private pending buffer.
+	c0.Send(1, 1, "early")
+	c0.Send(1, 2, "wanted")
+	c1.Recv(0, 2)
+	if err := c1.Quiesced(); err == nil || !strings.Contains(err.Error(), "unmatched") {
+		t.Fatalf("pending buffer not detected: %v", err)
+	}
+	c1.Recv(0, 1)
+	if err := c1.Quiesced(); err != nil {
+		t.Fatalf("drained rank not quiesced: %v", err)
+	}
+	if err := w.Quiesced(); err != nil {
+		t.Fatalf("drained world not quiesced: %v", err)
+	}
+}
+
+func TestCommQuiescedDetectsHeldMessages(t *testing.T) {
+	// ReorderProb 1 guarantees the first send on a link is held back.
+	w, err := NewWorld(2, WithFaults(FaultPlan{Seed: 1, ReorderProb: 1, ReorderDepth: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := w.Comm(0), w.Comm(1)
+	c0.Send(1, 3, "held")
+	if err := c0.Quiesced(); err == nil || !strings.Contains(err.Error(), "reordered") {
+		t.Fatalf("held message not detected: %v", err)
+	}
+	c0.flushHeld()
+	if err := c0.Quiesced(); err != nil {
+		t.Fatalf("flushed rank not quiesced: %v", err)
+	}
+	// flushHeld enqueued into rank 1's inbox; Quiesced must now flag it.
+	if err := w.Quiesced(); err == nil {
+		t.Fatal("flushed message in inbox not detected")
+	}
+	c1.Recv(0, 3)
+	if err := w.Quiesced(); err != nil {
+		t.Fatalf("fully drained world not quiesced: %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"math"
 	"time"
 
+	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/conc"
 	"permcell/internal/dlb"
@@ -120,6 +121,16 @@ type Config struct {
 	// set, C' bound) plus the global checks — every column hosted exactly
 	// once and the particle count conserved. Chaos runs set this.
 	Verify bool
+
+	// Restore, when non-nil, starts the run from a distributed snapshot
+	// instead of distributing sys: each PE takes its frame's particles in
+	// their recorded order (array order determines force summation order,
+	// so this is what makes the resumed trajectory bit-identical), the
+	// ledgers are rebuilt from the frames' hosted-column sets, and step
+	// numbering continues from Restore.Step — keeping the thermostat, DLB
+	// and stats cadences aligned with the uninterrupted run. The physics
+	// Config fields must match the checkpointed run's exactly.
+	Restore *checkpoint.EngineState
 }
 
 // StepStats is the per-step record the paper's figures are built from.
@@ -239,7 +250,42 @@ func (cfg *Config) validate() error {
 	if _, err := cfg.Layout(); err != nil {
 		return err
 	}
+	if cfg.Restore != nil {
+		if err := cfg.Restore.Validate(cfg.P); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// restoreHosts merges the frames' hosted-column sets into one global
+// column→host map and checks it is a partition: every column of the layout
+// hosted by exactly one PE. Returns nil when cfg carries no restore state.
+func restoreHosts(layout dlb.Layout, st *checkpoint.EngineState) (map[int]int, error) {
+	if st == nil {
+		return nil, nil
+	}
+	hosts := make(map[int]int, layout.NumColumns())
+	for r := range st.Frames {
+		for _, col := range st.Frames[r].Cols {
+			if prev, dup := hosts[col]; dup {
+				return nil, fmt.Errorf("core: restore: column %d hosted by both rank %d and rank %d", col, prev, r)
+			}
+			hosts[col] = r
+		}
+	}
+	if len(hosts) != layout.NumColumns() {
+		return nil, fmt.Errorf("core: restore: %d of %d columns hosted", len(hosts), layout.NumColumns())
+	}
+	// Every rank's ledger must accept the placement (permanent columns at
+	// home, movable columns within the owner's up-left set); rejecting a
+	// corrupt or foreign snapshot here beats a mid-run protocol panic.
+	for r := range st.Frames {
+		if _, err := dlb.RestoreLedger(layout, r, hosts); err != nil {
+			return nil, err
+		}
+	}
+	return hosts, nil
 }
 
 // Run executes steps time steps of the configured parallel simulation on
@@ -271,11 +317,16 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 		return nil, err
 	}
 
+	hosts, err := restoreHosts(layout, cfg.Restore)
+	if err != nil {
+		return nil, err
+	}
+
 	// Internal protocol violations (which indicate engine bugs, not user
 	// errors) panic inside the PE goroutines, mirroring MPI_Abort.
 	res := &Result{M: layout.M}
 	peMain := func(c *comm.Comm) {
-		newPE(c, &cfg, layout, sys).run(steps, res)
+		newPE(c, &cfg, layout, sys, hosts).run(steps, res)
 	}
 	if cfg.Watchdog > 0 {
 		if err := world.RunWatched(cfg.Watchdog, peMain); err != nil {
@@ -287,5 +338,9 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 	res.CommMsgs, res.CommBytes = world.Stats()
 	res.Faults = world.FaultStats()
 	res.FaultEvents = world.FaultEvents()
+	if cfg.Restore != nil {
+		res.CommMsgs += cfg.Restore.CommMsgs
+		res.CommBytes += cfg.Restore.CommBytes
+	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/potential"
 	"permcell/internal/workload"
@@ -30,6 +31,13 @@ type Engine struct {
 	done    bool
 	finRes  *Result
 	finErr  error
+
+	snap []checkpoint.Frame // per-rank snapshot slots (written on cmdSnapshot)
+	// base carries the restore point: the absolute step the engine started
+	// at and the interrupted run's cumulative comm counters, so snapshots
+	// and the final Result continue the original run's totals.
+	base                int
+	baseMsgs, baseBytes int64
 }
 
 // NewEngine validates cfg, distributes sys and starts the PE goroutines.
@@ -66,6 +74,11 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 		return nil, err
 	}
 
+	hosts, err := restoreHosts(layout, cfg.Restore)
+	if err != nil {
+		return nil, err
+	}
+
 	e := &Engine{
 		cfg:     cfg,
 		world:   world,
@@ -73,6 +86,12 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 		cmd:     make([]chan int, cfg.P),
 		ack:     make(chan struct{}, cfg.P),
 		runDone: make(chan struct{}),
+		snap:    make([]checkpoint.Frame, cfg.P),
+	}
+	if cfg.Restore != nil {
+		e.base = cfg.Restore.Step
+		e.baseMsgs = cfg.Restore.CommMsgs
+		e.baseBytes = cfg.Restore.CommBytes
 	}
 	for i := range e.cmd {
 		e.cmd[i] = make(chan int, 1)
@@ -80,7 +99,7 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 	go func() {
 		defer close(e.runDone)
 		world.Run(func(c *comm.Comm) {
-			newPE(c, &e.cfg, layout, sys).runStepwise(e.cmd[c.Rank()], e.ack, e.res)
+			newPE(c, &e.cfg, layout, sys, hosts).runStepwise(e.cmd[c.Rank()], e.ack, e.res, e.snap)
 		})
 	}()
 
@@ -128,8 +147,61 @@ func (e *Engine) Step(n int) error {
 	return nil
 }
 
-// Stepped returns the number of time steps advanced so far.
+// Stepped returns the number of time steps advanced so far (this session
+// only; a restored engine's absolute step is AbsStep).
 func (e *Engine) Stepped() int { return e.stepped }
+
+// AbsStep returns the absolute simulation step: the restore point plus the
+// steps advanced this session.
+func (e *Engine) AbsStep() int { return e.base + e.stepped }
+
+// Snapshot takes a coordinated distributed snapshot at the current batch
+// boundary: every PE receives the snapshot command, asserts its own
+// communication state is quiesced, serializes its shard — particle arrays
+// in live in-memory order plus its hosted-column set — and acknowledges;
+// the driver then asserts no message is in flight anywhere and assembles
+// the frames. The engine remains usable: Snapshot does not advance time
+// and a following Step continues exactly as if no snapshot was taken.
+func (e *Engine) Snapshot() (*checkpoint.EngineState, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.done {
+		return nil, fmt.Errorf("core: Snapshot after Finish")
+	}
+	for _, ch := range e.cmd {
+		ch <- cmdSnapshot
+	}
+	done := make(chan struct{})
+	go func() {
+		for range e.cmd {
+			<-e.ack
+		}
+		close(done)
+	}()
+	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+		e.err = err
+		return nil, err
+	}
+	// All acks received: every PE passed its own quiesce check and wrote
+	// its frame (the ack is the happens-before edge). The world-level check
+	// covers the inboxes.
+	if err := e.world.Quiesced(); err != nil {
+		return nil, err
+	}
+	msgs, bytes := e.world.Stats()
+	st := &checkpoint.EngineState{
+		Step:      e.base + e.stepped,
+		Frames:    make([]checkpoint.Frame, len(e.snap)),
+		CommMsgs:  e.baseMsgs + msgs,
+		CommBytes: e.baseBytes + bytes,
+	}
+	copy(st.Frames, e.snap)
+	if err := st.Validate(e.cfg.P); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
 
 // Stats returns the per-step records collected so far (empty when
 // cfg.DiscardStats is set). The slice is live: it must only be read
@@ -170,7 +242,7 @@ func (e *Engine) finish() (*Result, error) {
 		}
 	}
 	for _, ch := range e.cmd {
-		ch <- -1
+		ch <- cmdFinish
 	}
 	if werr := e.world.WatchSection(watch, e.runDone); werr != nil {
 		if e.err != nil {
@@ -180,6 +252,8 @@ func (e *Engine) finish() (*Result, error) {
 		return nil, werr
 	}
 	e.res.CommMsgs, e.res.CommBytes = e.world.Stats()
+	e.res.CommMsgs += e.baseMsgs
+	e.res.CommBytes += e.baseBytes
 	e.res.Faults = e.world.FaultStats()
 	e.res.FaultEvents = e.world.FaultEvents()
 	return e.res, e.err

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/conc"
 	"permcell/internal/dlb"
@@ -27,6 +28,12 @@ const (
 	tagMigrate
 	tagNeed
 	tagHalo
+)
+
+// Stepwise command sentinels (positive values are batch sizes).
+const (
+	cmdFinish   = -1
+	cmdSnapshot = -2
 )
 
 // cellBlock is one cell's particle positions in a halo response.
@@ -68,6 +75,7 @@ type pe struct {
 	potE     float64 // local share of potential energy
 	moved    int     // columns moved by my decision this step
 	initN    int64   // global particle count at step 0 (Verify only)
+	step0    int     // absolute step the run starts at (checkpoint restore)
 
 	tm *metrics.Timer // per-phase timing; nil unless cfg.Metrics
 }
@@ -83,12 +91,17 @@ func (p *pe) send(ph metrics.Phase, dst, tag int, data any, size int64) {
 	p.tm.Count(ph, 1, size)
 }
 
-func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *pe {
+// newPE builds one PE. With a nil hosts map the particles come from the
+// initial distribution of sys (each PE takes its own columns); with a
+// restore in cfg, hosts is the pre-validated global column→host map and the
+// PE instead takes its checkpoint frame's particles in their recorded order
+// — array order drives force summation order, so preserving it is what
+// makes the resumed trajectory bit-identical.
+func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System, hosts map[int]int) *pe {
 	p := &pe{
 		c:      c,
 		cfg:    cfg,
 		layout: layout,
-		lg:     dlb.NewLedger(layout, c.Rank()),
 		cl:     kernel.NewCellLists(cfg.Grid, cfg.Shards),
 		dirty:  true,
 		colPop: make(map[int]int),
@@ -99,6 +112,22 @@ func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System) *p
 		p.tm = &metrics.Timer{}
 	}
 
+	if cfg.Restore != nil {
+		p.step0 = cfg.Restore.Step
+		lg, err := dlb.RestoreLedger(layout, c.Rank(), hosts)
+		if err != nil {
+			// Pre-validated by restoreHosts; reaching this is an engine bug.
+			panic(fmt.Sprintf("core: rank %d: %v", c.Rank(), err))
+		}
+		p.lg = lg
+		fr := &cfg.Restore.Frames[c.Rank()]
+		for i := range fr.ID {
+			p.set.Add(fr.ID[i], fr.Pos[i], fr.Vel[i])
+		}
+		return p
+	}
+
+	p.lg = dlb.NewLedger(layout, c.Rank())
 	// Initial distribution: each PE takes the particles in its own columns.
 	// The shared input system is only read, never written.
 	g := cfg.Grid
@@ -167,26 +196,33 @@ func (p *pe) oneStep(step int, res *Result) {
 	}
 }
 
-// run executes the whole simulation on this PE.
+// run executes the whole simulation on this PE. Step numbering continues
+// from the restore point (step0 = 0 on a fresh start).
 func (p *pe) run(steps int, res *Result) {
 	defer p.cl.Close()
 	p.init()
-	for step := 1; step <= steps; step++ {
-		p.oneStep(step, res)
+	for i := 1; i <= steps; i++ {
+		p.oneStep(p.step0+i, res)
 	}
 	p.gatherFinal(res)
 }
 
 // runStepwise executes the simulation in driver-commanded batches: each
-// value received on cmd is a batch size to advance by (negative = finish);
-// after each batch the PE reports on ack and goes idle. All ranks receive
-// the same command sequence, so the collectives inside a batch stay
-// aligned exactly as in run.
-func (p *pe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result) {
+// value received on cmd is a batch size to advance by (cmdFinish ends the
+// run, cmdSnapshot serializes this PE's shard into snap); after each
+// command the PE reports on ack and goes idle. All ranks receive the same
+// command sequence, so the collectives inside a batch stay aligned exactly
+// as in run.
+func (p *pe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result, snap []checkpoint.Frame) {
 	defer p.cl.Close()
 	p.init()
-	step := 0
+	step := p.step0
 	for n := range cmd {
+		if n == cmdSnapshot {
+			p.snapshot(snap)
+			ack <- struct{}{}
+			continue
+		}
 		if n < 0 {
 			break
 		}
@@ -197,6 +233,18 @@ func (p *pe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result) {
 		ack <- struct{}{}
 	}
 	p.gatherFinal(res)
+}
+
+// snapshot serializes this PE's shard — particle arrays in live order plus
+// the hosted-column set — into its slot of the shared frame slice. The ack
+// that follows is the happens-before edge to the driver's read. A PE with
+// communication still pending at a batch boundary is an engine bug: the
+// per-step protocols all drain what they send.
+func (p *pe) snapshot(snap []checkpoint.Frame) {
+	if err := p.c.Quiesced(); err != nil {
+		panic(fmt.Sprintf("core: rank %d snapshot: %v", p.c.Rank(), err))
+	}
+	checkpoint.CaptureFrame(&snap[p.c.Rank()], p.c.Rank(), &p.set, p.lg.HostedColumns())
 }
 
 // verifyStep asserts the DESIGN.md section 6 protocol invariants at the end

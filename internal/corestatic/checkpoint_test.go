@@ -1,0 +1,101 @@
+package corestatic
+
+import (
+	"testing"
+
+	"permcell/internal/decomp"
+)
+
+// stepsEqualDeterministic compares the deterministic fields of two step
+// records (wall-clock fields differ between any two runs).
+func stepsEqualDeterministic(a, b StepStats) bool {
+	return a.Step == b.Step &&
+		a.WorkMax == b.WorkMax && a.WorkAve == b.WorkAve && a.WorkMin == b.WorkMin &&
+		a.GhostCellsMax == b.GhostCellsMax && a.TotalEnergy == b.TotalEnergy
+}
+
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.3, 7)
+	const b = 10
+
+	for _, shape := range []decomp.Shape{decomp.SquarePillar, decomp.Cube} {
+		t.Run(shape.String(), func(t *testing.T) {
+			p := 4
+			if shape == decomp.Cube {
+				p = 8
+			}
+			cfg := cfgFor(shape, p, g)
+
+			gRes, err := Run(cfg, sys, 2*b)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			eng, err := NewEngine(cfg, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Step(b); err != nil {
+				t.Fatal(err)
+			}
+			st, err := eng.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Step != b {
+				t.Fatalf("snapshot at step %d, want %d", st.Step, b)
+			}
+
+			// The engine keeps running unperturbed after the snapshot.
+			if err := eng.Step(b); err != nil {
+				t.Fatal(err)
+			}
+			cRes, err := eng.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range gRes.Stats {
+				if !stepsEqualDeterministic(cRes.Stats[i], gRes.Stats[i]) {
+					t.Fatalf("snapshot perturbed the run at record %d", i)
+				}
+			}
+
+			rcfg := cfg
+			rcfg.Restore = st
+			resumed, err := NewEngine(rcfg, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.AbsStep() != b {
+				t.Fatalf("restored AbsStep %d, want %d", resumed.AbsStep(), b)
+			}
+			if err := resumed.Step(b); err != nil {
+				t.Fatal(err)
+			}
+			rRes, err := resumed.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range rRes.Stats {
+				want := gRes.Stats[b+i]
+				if !stepsEqualDeterministic(rRes.Stats[i], want) {
+					t.Fatalf("resumed trace diverged at step %d:\n got %+v\nwant %+v",
+						rRes.Stats[i].Step, rRes.Stats[i], want)
+				}
+			}
+			if rRes.Final.Len() != gRes.Final.Len() {
+				t.Fatalf("final count %d vs %d", rRes.Final.Len(), gRes.Final.Len())
+			}
+			for i := range gRes.Final.ID {
+				if rRes.Final.ID[i] != gRes.Final.ID[i] ||
+					rRes.Final.Pos[i] != gRes.Final.Pos[i] ||
+					rRes.Final.Vel[i] != gRes.Final.Vel[i] {
+					t.Fatalf("final state not bit-identical at particle %d", i)
+				}
+			}
+			if rRes.CommMsgs <= st.CommMsgs {
+				t.Fatalf("comm counters did not continue: %d from base %d", rRes.CommMsgs, st.CommMsgs)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/decomp"
 	"permcell/internal/integrator"
@@ -45,6 +46,13 @@ type Config struct {
 	Faults   *comm.FaultPlan
 	Watchdog time.Duration
 	InboxCap int
+
+	// Restore, when non-nil, starts the run from a distributed snapshot
+	// instead of distributing sys, exactly as in core.Config: each SPE
+	// takes its frame's particles in their recorded order and step
+	// numbering continues from Restore.Step. Ownership is implied by the
+	// static decomposition, so frames carry no column sets here.
+	Restore *checkpoint.EngineState
 }
 
 // StepStats is the per-step record. The static engine reports only the
@@ -81,6 +89,12 @@ const (
 	tagHalo
 )
 
+// Stepwise command sentinels (positive values are batch sizes), as in core.
+const (
+	cmdFinish   = -1
+	cmdSnapshot = -2
+)
+
 type cellBlock struct {
 	Cell int
 	Pos  []vec.V
@@ -95,6 +109,11 @@ func setup(cfg *Config, stepwise bool) (*decomp.Decomposition, *comm.World, erro
 	}
 	if cfg.Shards < 0 {
 		return nil, nil, fmt.Errorf("corestatic: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	if cfg.Restore != nil {
+		if err := cfg.Restore.Validate(cfg.P); err != nil {
+			return nil, nil, err
+		}
 	}
 	if cfg.Ext == nil {
 		cfg.Ext = potential.NoField{}
@@ -150,6 +169,10 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 	}
 	res.CommMsgs, res.CommBytes = world.Stats()
 	res.Faults = world.FaultStats()
+	if cfg.Restore != nil {
+		res.CommMsgs += cfg.Restore.CommMsgs
+		res.CommBytes += cfg.Restore.CommBytes
+	}
 	return res, nil
 }
 
@@ -167,6 +190,7 @@ type spe struct {
 	lastWall  float64
 	potE      float64
 	ghostSeen int
+	step0     int // absolute step the run starts at (checkpoint restore)
 
 	tm *metrics.Timer // per-phase timing; nil unless cfg.Metrics
 }
@@ -193,6 +217,16 @@ func newSPE(c *comm.Comm, cfg *Config, d *decomp.Decomposition, sys workload.Sys
 	sort.Ints(p.nbs)
 	// The decomposition is static: the cell-list topology is built once.
 	p.cl.SetHosted(d.CellsOf(c.Rank()))
+	if cfg.Restore != nil {
+		// Checkpoint restore: this rank's frame, in its recorded live order
+		// (array order drives force summation order; see core.newPE).
+		p.step0 = cfg.Restore.Step
+		fr := &cfg.Restore.Frames[c.Rank()]
+		for i := range fr.ID {
+			p.set.Add(fr.ID[i], fr.Pos[i], fr.Vel[i])
+		}
+		return p
+	}
 	g := cfg.Grid
 	for i := range sys.Set.Pos {
 		if d.OwnerOf(g.CellOf(sys.Set.Pos[i])) == c.Rank() {
@@ -241,19 +275,25 @@ func (p *spe) oneStep(step int, res *Result) {
 func (p *spe) run(steps int, res *Result) {
 	defer p.cl.Close()
 	p.init()
-	for step := 1; step <= steps; step++ {
-		p.oneStep(step, res)
+	for i := 1; i <= steps; i++ {
+		p.oneStep(p.step0+i, res)
 	}
 	p.gatherFinal(res)
 }
 
 // runStepwise is run under driver command, exactly as core's pe.runStepwise:
-// each value on cmd is a batch size (negative = finish), acked per batch.
-func (p *spe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result) {
+// each value on cmd is a batch size (cmdFinish ends the run, cmdSnapshot
+// serializes this SPE's shard into snap), acked per command.
+func (p *spe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result, snap []checkpoint.Frame) {
 	defer p.cl.Close()
 	p.init()
-	step := 0
+	step := p.step0
 	for n := range cmd {
+		if n == cmdSnapshot {
+			p.snapshot(snap)
+			ack <- struct{}{}
+			continue
+		}
 		if n < 0 {
 			break
 		}
@@ -264,6 +304,16 @@ func (p *spe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result) {
 		ack <- struct{}{}
 	}
 	p.gatherFinal(res)
+}
+
+// snapshot serializes this SPE's shard into its slot of the shared frame
+// slice (no column set: ownership is the static decomposition). The ack
+// that follows is the happens-before edge to the driver's read.
+func (p *spe) snapshot(snap []checkpoint.Frame) {
+	if err := p.c.Quiesced(); err != nil {
+		panic(fmt.Sprintf("corestatic: rank %d snapshot: %v", p.c.Rank(), err))
+	}
+	checkpoint.CaptureFrame(&snap[p.c.Rank()], p.c.Rank(), &p.set, nil)
 }
 
 func (p *spe) rebuild() {

@@ -3,6 +3,7 @@ package corestatic
 import (
 	"fmt"
 
+	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/workload"
 )
@@ -25,6 +26,11 @@ type Engine struct {
 	done    bool
 	finRes  *Result
 	finErr  error
+
+	snap []checkpoint.Frame // per-rank snapshot slots (written on cmdSnapshot)
+	// base carries the restore point, as in core.Engine.
+	base                int
+	baseMsgs, baseBytes int64
 }
 
 // NewEngine validates cfg, distributes sys and starts the SPE goroutines,
@@ -42,6 +48,12 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 		cmd:     make([]chan int, cfg.P),
 		ack:     make(chan struct{}, cfg.P),
 		runDone: make(chan struct{}),
+		snap:    make([]checkpoint.Frame, cfg.P),
+	}
+	if cfg.Restore != nil {
+		e.base = cfg.Restore.Step
+		e.baseMsgs = cfg.Restore.CommMsgs
+		e.baseBytes = cfg.Restore.CommBytes
 	}
 	for i := range e.cmd {
 		e.cmd[i] = make(chan int, 1)
@@ -49,7 +61,7 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 	go func() {
 		defer close(e.runDone)
 		world.Run(func(c *comm.Comm) {
-			newSPE(c, &e.cfg, d, sys).runStepwise(e.cmd[c.Rank()], e.ack, e.res)
+			newSPE(c, &e.cfg, d, sys).runStepwise(e.cmd[c.Rank()], e.ack, e.res, e.snap)
 		})
 	}()
 	return e, nil
@@ -91,8 +103,55 @@ func (e *Engine) Step(n int) error {
 	return nil
 }
 
-// Stepped returns the number of time steps advanced so far.
+// Stepped returns the number of time steps advanced so far (this session
+// only; a restored engine's absolute step is AbsStep).
 func (e *Engine) Stepped() int { return e.stepped }
+
+// AbsStep returns the absolute simulation step: the restore point plus the
+// steps advanced this session.
+func (e *Engine) AbsStep() int { return e.base + e.stepped }
+
+// Snapshot takes a coordinated distributed snapshot at the current batch
+// boundary, exactly as core.Engine.Snapshot: every SPE asserts quiescence,
+// serializes its shard, and the driver assembles the frames after the
+// world-level in-flight check. The engine remains usable afterwards.
+func (e *Engine) Snapshot() (*checkpoint.EngineState, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.done {
+		return nil, fmt.Errorf("corestatic: Snapshot after Finish")
+	}
+	for _, ch := range e.cmd {
+		ch <- cmdSnapshot
+	}
+	done := make(chan struct{})
+	go func() {
+		for range e.cmd {
+			<-e.ack
+		}
+		close(done)
+	}()
+	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+		e.err = err
+		return nil, err
+	}
+	if err := e.world.Quiesced(); err != nil {
+		return nil, err
+	}
+	msgs, bytes := e.world.Stats()
+	st := &checkpoint.EngineState{
+		Step:      e.base + e.stepped,
+		Frames:    make([]checkpoint.Frame, len(e.snap)),
+		CommMsgs:  e.baseMsgs + msgs,
+		CommBytes: e.baseBytes + bytes,
+	}
+	copy(st.Frames, e.snap)
+	if err := st.Validate(e.cfg.P); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
 
 // Stats returns the per-step records collected so far. The slice is live:
 // read it only between Step calls, while the SPEs are idle.
@@ -123,7 +182,7 @@ func (e *Engine) finish() (*Result, error) {
 		}
 	}
 	for _, ch := range e.cmd {
-		ch <- -1
+		ch <- cmdFinish
 	}
 	if werr := e.world.WatchSection(watch, e.runDone); werr != nil {
 		if e.err != nil {
@@ -133,6 +192,8 @@ func (e *Engine) finish() (*Result, error) {
 		return nil, werr
 	}
 	e.res.CommMsgs, e.res.CommBytes = e.world.Stats()
+	e.res.CommMsgs += e.baseMsgs
+	e.res.CommBytes += e.baseBytes
 	e.res.Faults = e.world.FaultStats()
 	return e.res, e.err
 }

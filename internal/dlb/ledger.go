@@ -87,6 +87,24 @@ func NewLedger(l Layout, rank int) *Ledger {
 	return lg
 }
 
+// RestoreLedger rebuilds rank's ledger from a global column→host map (e.g.
+// merged from checkpoint frames): tracked columns take their host from the
+// map, and the result must satisfy the permanent-cell invariants. Columns
+// absent from hosts are assumed at home, so a map holding only displaced
+// columns also restores correctly.
+func RestoreLedger(l Layout, rank int, hosts map[int]int) (*Ledger, error) {
+	lg := NewLedger(l, rank)
+	for col := range lg.host {
+		if h, ok := hosts[col]; ok {
+			lg.host[col] = h
+		}
+	}
+	if err := lg.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("dlb: restoring rank %d ledger: %w", rank, err)
+	}
+	return lg, nil
+}
+
 // Tracks reports whether the ledger maintains dynamic host state for col.
 func (lg *Ledger) Tracks(col int) bool {
 	return lg.trackedOwners[lg.L.OwnerOf(col)]

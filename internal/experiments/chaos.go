@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"time"
 
+	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/core"
 )
@@ -85,4 +87,116 @@ func TraceHash(stats []core.StepStats) uint64 {
 		wf(st.Conc.NFactor)
 	}
 	return h.Sum64()
+}
+
+// KillResumeResult is the outcome of the kill-and-recover scenario.
+type KillResumeResult struct {
+	Info SysInfo
+	// KillAt is the step the run was hard-stopped at.
+	KillAt int
+	// CkptPath is the checkpoint file the recovery loaded.
+	CkptPath string
+	// GoldenHash fingerprints the uninterrupted run's full trace;
+	// ResumedHash fingerprints the interrupted prefix concatenated with the
+	// recovered run's tail. Bit-identical recovery means they are equal.
+	GoldenHash, ResumedHash uint64
+	// GoldenFaults/ResumedFaults count the faults injected into the golden
+	// run and into the two interrupted sessions combined.
+	GoldenFaults, ResumedFaults comm.FaultStats
+}
+
+// Match reports whether the recovered trace equals the uninterrupted one.
+func (r *KillResumeResult) Match() bool { return r.GoldenHash == r.ResumedHash }
+
+// KillResume is the chaos subsystem's kill-and-recover scenario: run the
+// spec uninterrupted (golden); run it again but hard-stop after killAt
+// steps, keeping nothing except the checkpoint file written into dir; then
+// recover strictly from that file and finish the remaining steps. Both
+// interrupted sessions run under the spec's fault plan — the fault streams
+// restart at the resume point, which must not matter, because the
+// deterministic trace is invariant to the plan. The result's hashes compare
+// the golden trace against interrupted-prefix + recovered-tail.
+func (s ChaosSpec) KillResume(killAt int, dir string) (*KillResumeResult, error) {
+	if killAt <= 0 || killAt >= s.Steps {
+		return nil, fmt.Errorf("experiments: kill step %d outside (0, %d)", killAt, s.Steps)
+	}
+	golden, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: golden run: %w", err)
+	}
+
+	// Interrupted session: killAt steps, one checkpoint, hard stop.
+	cfg, sys, info, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	plan := s.Plan
+	cfg.Faults = &plan
+	cfg.Watchdog = s.Watchdog
+	cfg.Verify = true
+	eng, err := core.NewEngine(cfg, sys)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Step(killAt); err != nil {
+		eng.Finish()
+		return nil, fmt.Errorf("experiments: interrupted run: %w", err)
+	}
+	st, err := eng.Snapshot()
+	if err != nil {
+		eng.Finish()
+		return nil, fmt.Errorf("experiments: snapshot: %w", err)
+	}
+	prefix := append([]core.StepStats(nil), eng.Stats()...)
+	meta := checkpoint.Meta{
+		Version: checkpoint.FormatVersion, Kind: checkpoint.KindDLB, Step: st.Step,
+		M: s.M, P: s.P, Rho: s.Rho,
+		DLB: s.DLB, Wells: s.Wells, WellK: s.WellK, Hysteresis: s.Hysteresis,
+		Seed: s.Seed, Dt: s.Dt, Shards: s.Shards, StatsEvery: s.StatsEvery,
+		CommMsgs: st.CommMsgs, CommBytes: st.CommBytes,
+	}
+	path, err := checkpoint.Save(dir, &meta, st.Frames)
+	if err != nil {
+		eng.Finish()
+		return nil, err
+	}
+	res1, err := eng.Finish() // release the goroutines; state is discarded
+	if err != nil {
+		return nil, fmt.Errorf("experiments: interrupted teardown: %w", err)
+	}
+
+	// Recovery: everything the resumed session knows comes from the file.
+	meta2, frames, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg2, sys2, _, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	plan2 := s.Plan
+	cfg2.Faults = &plan2
+	cfg2.Watchdog = s.Watchdog
+	cfg2.Verify = true
+	cfg2.Restore = &checkpoint.EngineState{
+		Step: meta2.Step, Frames: frames,
+		CommMsgs: meta2.CommMsgs, CommBytes: meta2.CommBytes,
+	}
+	res2, err := core.Run(cfg2, sys2, s.Steps-killAt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recovered run: %w", err)
+	}
+
+	combined := append(prefix, res2.Stats...)
+	faults := res1.Faults
+	faults.Delays += res2.Faults.Delays
+	faults.Reorders += res2.Faults.Reorders
+	faults.Failures += res2.Faults.Failures
+	faults.Retries += res2.Faults.Retries
+	faults.Stalls += res2.Faults.Stalls
+	return &KillResumeResult{
+		Info: info, KillAt: killAt, CkptPath: path,
+		GoldenHash: golden.TraceHash, ResumedHash: TraceHash(combined),
+		GoldenFaults: golden.Faults, ResumedFaults: faults,
+	}, nil
 }

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestKillResumeIdenticalTrace is the chaos subsystem's kill-and-recover
+// acceptance property: hard-stopping a faulty DLB run mid-flight and
+// recovering strictly from the checkpoint file reproduces the uninterrupted
+// run's deterministic trace exactly.
+func TestKillResumeIdenticalTrace(t *testing.T) {
+	spec := tinyChaosSpec()
+	r, err := spec.KillResume(11, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match() {
+		t.Fatalf("kill-resume trace diverged: golden %016x vs resumed %016x",
+			r.GoldenHash, r.ResumedHash)
+	}
+	if r.ResumedFaults.Delays+r.ResumedFaults.Reorders+r.ResumedFaults.Failures == 0 {
+		t.Error("kill-resume sessions saw no injected faults")
+	}
+}
+
+// TestKillResumeRejectsBadKillStep covers the argument guard.
+func TestKillResumeRejectsBadKillStep(t *testing.T) {
+	spec := tinyChaosSpec()
+	for _, k := range []int{0, -1, spec.Steps} {
+		if _, err := spec.KillResume(k, t.TempDir()); err == nil {
+			t.Errorf("kill step %d accepted", k)
+		}
+	}
+}

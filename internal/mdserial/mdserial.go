@@ -46,6 +46,11 @@ type Config struct {
 	// pointer test per phase boundary. The serial engine has no comm
 	// phases, so only integrate/migrate (re-binning)/force accumulate.
 	Metrics bool
+	// StartStep sets the initial step counter, used when restoring from a
+	// checkpoint. The thermostat cadence is step%RescaleEvery over the
+	// absolute counter, so a restore that reset it to zero would rescale at
+	// different absolute steps than the uninterrupted run and diverge.
+	StartStep int
 }
 
 // Engine advances a particle set through time.
@@ -74,6 +79,9 @@ func New(cfg Config, set *particle.Set) (*Engine, error) {
 	if cfg.Dt <= 0 {
 		return nil, fmt.Errorf("mdserial: time step must be positive, got %g", cfg.Dt)
 	}
+	if cfg.StartStep < 0 {
+		return nil, fmt.Errorf("mdserial: start step must be >= 0, got %d", cfg.StartStep)
+	}
 	if cfg.Ext == nil {
 		cfg.Ext = potential.NoField{}
 	}
@@ -85,7 +93,7 @@ func New(cfg Config, set *particle.Set) (*Engine, error) {
 			return nil, err
 		}
 	}
-	e := &Engine{cfg: cfg, grid: g, set: set}
+	e := &Engine{cfg: cfg, grid: g, set: set, step: cfg.StartStep}
 	if cfg.Metrics {
 		e.tm = &metrics.Timer{}
 	}

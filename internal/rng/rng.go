@@ -9,6 +9,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 
 	"permcell/internal/vec"
@@ -53,6 +54,35 @@ func (s *Source) Split(index uint64) *Source {
 		c.s[i] = splitmix64(&st)
 	}
 	return &c
+}
+
+// stateWords is the length of the slice State returns: the four xoshiro256**
+// words, the Box-Muller cache flag, and the cached Gaussian's bits.
+const stateWords = 6
+
+// State returns the generator's complete state — the xoshiro words plus the
+// Box-Muller cache — as a flat word slice suitable for a checkpoint frame.
+// SetState on a fresh Source restores a stream that continues bit-identically.
+func (s *Source) State() []uint64 {
+	st := make([]uint64, stateWords)
+	copy(st, s.s[:])
+	if s.hasGauss {
+		st[4] = 1
+	}
+	st[5] = math.Float64bits(s.gauss)
+	return st
+}
+
+// SetState restores state captured by State. It rejects slices of the wrong
+// length rather than guessing at a partial restore.
+func (s *Source) SetState(st []uint64) error {
+	if len(st) != stateWords {
+		return fmt.Errorf("rng: state has %d words, want %d", len(st), stateWords)
+	}
+	copy(s.s[:], st[:4])
+	s.hasGauss = st[4] != 0
+	s.gauss = math.Float64frombits(st[5])
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

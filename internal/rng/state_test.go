@@ -1,0 +1,56 @@
+package rng
+
+import "testing"
+
+func TestStateRoundTrip(t *testing.T) {
+	src := New(42)
+	// Advance into an interesting state: odd Norm count leaves the
+	// Box-Muller cache populated, the part a naive 4-word capture loses.
+	for i := 0; i < 7; i++ {
+		src.Uint64()
+	}
+	src.Norm()
+	if !src.hasGauss {
+		t.Fatal("test setup: expected a cached Gaussian")
+	}
+
+	st := src.State()
+	clone := New(0)
+	if err := clone.SetState(st); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := src.Norm(), clone.Norm(); a != b {
+			t.Fatalf("streams diverged at draw %d: %v vs %v", i, a, b)
+		}
+		if a, b := src.Uint64(), clone.Uint64(); a != b {
+			t.Fatalf("streams diverged at draw %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestStateIsASnapshot(t *testing.T) {
+	src := New(7)
+	st := src.State()
+	src.Uint64()
+	if st2 := src.State(); st[0] == st2[0] && st[1] == st2[1] && st[2] == st2[2] && st[3] == st2[3] {
+		t.Fatal("State did not snapshot: advancing the source changed nothing")
+	}
+	restored := New(0)
+	if err := restored.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(7)
+	if restored.Uint64() != fresh.Uint64() {
+		t.Fatal("restored stream does not match the original from the snapshot point")
+	}
+}
+
+func TestSetStateRejectsWrongLength(t *testing.T) {
+	if err := New(1).SetState([]uint64{1, 2, 3}); err == nil {
+		t.Fatal("short state accepted")
+	}
+	if err := New(1).SetState(make([]uint64, 9)); err == nil {
+		t.Fatal("long state accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package traj
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"permcell/internal/mdserial"
+	"permcell/internal/particle"
+	"permcell/internal/potential"
+	"permcell/internal/rng"
+	"permcell/internal/units"
+	"permcell/internal/vec"
+	"permcell/internal/workload"
+)
+
+// TestCheckpointThermostattedRestart is the regression test for the resume
+// divergence this PR fixes: with velocity rescaling every RescaleEvery
+// steps, a restart that reset the step counter to zero would rescale at
+// different absolute steps than the uninterrupted run. Restoring with
+// StartStep keeps the cadence aligned, so the trajectory must match bit
+// for bit — including across a rescale boundary after the restart point.
+func TestCheckpointThermostattedRestart(t *testing.T) {
+	sys, err := workload.LatticeGas(125, 0.256, units.PaperTref, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mdserial.Config{
+		Box: sys.Box, Pair: potential.NewPaperLJ(), Dt: 1e-3,
+		Tref: units.PaperTref, RescaleEvery: 50,
+	}
+	ref, err := mdserial.New(cfg, sys.Set.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(120) // rescales at 50 and 100
+
+	half, err := mdserial.New(cfg, sys.Set.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.Run(70) // past the first rescale, before the second
+	var buf bytes.Buffer
+	if err := NewCheckpoint(sys.Box, half.StepCount(), half.Set()).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, set, err := cp.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Box = box
+	rcfg.StartStep = cp.Step
+	resumed, err := mdserial.New(rcfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Run(50) // crosses the rescale at absolute step 100
+
+	a, b := ref.Set(), resumed.Set()
+	a.SortByID()
+	b.SortByID()
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("thermostatted restart diverged at particle %d", i)
+		}
+	}
+}
+
+func TestCheckpointRNGCapture(t *testing.T) {
+	src := rng.New(99)
+	src.Norm() // leave the Box-Muller cache populated
+	cp := &Checkpoint{}
+	cp.CaptureRNG(src)
+	if !cp.HasRNG() {
+		t.Fatal("CaptureRNG left no state")
+	}
+
+	var buf bytes.Buffer
+	if err := cp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := rng.New(0)
+	if err := got.RestoreRNG(restored); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if src.Norm() != restored.Norm() {
+			t.Fatalf("restored RNG stream diverged at draw %d", i)
+		}
+	}
+
+	// Nil source: capture is a no-op, restore of corrupt state errors.
+	none := &Checkpoint{}
+	none.CaptureRNG(nil)
+	if none.HasRNG() {
+		t.Fatal("nil capture produced state")
+	}
+	bad := &Checkpoint{RNG: []uint64{1, 2}}
+	if err := bad.RestoreRNG(rng.New(0)); err == nil {
+		t.Fatal("truncated RNG state accepted")
+	}
+}
+
+// legacyCheckpoint is the frame layout before the RNG field existed. Gob
+// matches struct fields by name, so a stream encoded from it is exactly
+// what an old writer produced.
+type legacyCheckpoint struct {
+	BoxL  vec.V
+	Step  int
+	ID    []int64
+	Pos   []vec.V
+	Vel   []vec.V
+	Extra map[string]float64
+}
+
+func TestLegacyCheckpointDecodes(t *testing.T) {
+	s := &particle.Set{}
+	s.Add(1, vec.New(1, 2, 3), vec.New(0.1, 0.2, 0.3))
+	s.Add(2, vec.New(4, 5, 6), vec.New(0.4, 0.5, 0.6))
+	old := legacyCheckpoint{
+		BoxL: vec.New(10, 10, 10), Step: 33,
+		ID: s.ID, Pos: s.Pos, Vel: s.Vel,
+		Extra: map[string]float64{"seed": 7},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&old); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatalf("legacy frame rejected: %v", err)
+	}
+	if cp.Step != 33 || cp.Extra["seed"] != 7 {
+		t.Fatalf("legacy fields mangled: %+v", cp)
+	}
+	if cp.HasRNG() {
+		t.Fatal("legacy frame claims RNG state")
+	}
+	if err := cp.RestoreRNG(rng.New(0)); err != nil {
+		t.Fatalf("RestoreRNG on legacy frame: %v", err)
+	}
+	box, set, err := cp.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.L != old.BoxL || set.Len() != 2 || set.Pos[1] != old.Pos[1] {
+		t.Fatal("legacy restore mismatch")
+	}
+}

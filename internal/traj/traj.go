@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"permcell/internal/particle"
+	"permcell/internal/rng"
 	"permcell/internal/space"
 	"permcell/internal/vec"
 )
@@ -94,6 +95,36 @@ type Checkpoint struct {
 	Pos   []vec.V
 	Vel   []vec.V
 	Extra map[string]float64 // engine-specific scalars (seeds, accumulators)
+	// RNG is the auxiliary generator stream's state (rng.Source.State),
+	// so a restart continues the stream bit-identically. Legacy frames
+	// decode with RNG nil (gob leaves unknown fields zero); HasRNG
+	// distinguishes "no generator in use" from "legacy frame".
+	RNG []uint64
+}
+
+// CaptureRNG records src's state into the checkpoint. A nil src is a no-op,
+// for engines that carry no live generator.
+func (c *Checkpoint) CaptureRNG(src *rng.Source) {
+	if src != nil {
+		c.RNG = src.State()
+	}
+}
+
+// HasRNG reports whether the checkpoint carries generator state (false for
+// frames written before the RNG field existed).
+func (c *Checkpoint) HasRNG() bool { return len(c.RNG) > 0 }
+
+// RestoreRNG restores src from the captured state. It is a no-op on a
+// legacy frame without one, preserving the old restart behavior for old
+// files.
+func (c *Checkpoint) RestoreRNG(src *rng.Source) error {
+	if !c.HasRNG() {
+		return nil
+	}
+	if err := src.SetState(c.RNG); err != nil {
+		return fmt.Errorf("traj: %w", err)
+	}
+	return nil
 }
 
 // NewCheckpoint captures a snapshot.

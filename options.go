@@ -37,6 +37,8 @@ type Options struct {
 	discard    bool
 	faults     *FaultPlan
 	watchdog   time.Duration
+	ckptEvery  int
+	ckptDir    string
 }
 
 // Option mutates an Options.
@@ -116,3 +118,15 @@ func WithFaultPlan(plan FaultPlan) Option {
 // than d returns a *DeadlockError instead of hanging. Serial engines
 // ignore it.
 func WithWatchdog(d time.Duration) Option { return func(o *Options) { o.watchdog = d } }
+
+// WithCheckpoint writes a coordinated checkpoint into dir every `every`
+// time steps (counted in absolute simulation steps, so a restored run keeps
+// the original cadence). Step calls spanning a multiple of every pause at
+// the boundary, snapshot, write, and continue — the trace is unaffected.
+// dir keeps a latest/previous pair, written atomically, so a crash mid-write
+// never loses the run. every <= 0 disables the automatic cadence but still
+// configures dir for explicit CheckpointNow calls. A failed write surfaces
+// as the Step error.
+func WithCheckpoint(every int, dir string) Option {
+	return func(o *Options) { o.ckptEvery, o.ckptDir = every, dir }
+}
