@@ -125,11 +125,35 @@ func (w *ckptWriter) save(step int, msgs, bytes int64, frames []checkpoint.Frame
 // DLB cell ownership are reinstated exactly, and cumulative communication
 // counters carry over.
 func Restore(path string, opts ...Option) (Engine, error) {
+	o := buildOptions(opts)
+	if o.supervisor != nil {
+		// Peek at the meta for the absolute start step, then hand the
+		// supervisor a rebuilder so rollbacks can reconstruct the engine.
+		meta, _, err := loadCheckpoint(path)
+		if err != nil {
+			return nil, err
+		}
+		return supervised(o, meta.Step, func(oin Options) (Engine, error) {
+			return restoreOpts(path, oin)
+		})
+	}
+	return restoreOpts(path, o)
+}
+
+// restoreOpts is Restore with an already-resolved Options value.
+func restoreOpts(path string, o Options) (Engine, error) {
 	meta, frames, err := loadCheckpoint(path)
 	if err != nil {
 		return nil, err
 	}
-	o := buildOptions(opts)
+	return restoreState(meta, frames, o)
+}
+
+// restoreState rebuilds an engine from loaded checkpoint contents. The
+// supervisor calls it directly after vetting a specific file (so its
+// latest-vs-previous preference is not overridden by LoadDir's own
+// fallback).
+func restoreState(meta *checkpoint.Meta, frames []checkpoint.Frame, o Options) (Engine, error) {
 	// Physics options come from the file, not the caller (see doc comment).
 	o.dlb = meta.DLB
 	o.wells = meta.Wells
@@ -190,6 +214,8 @@ func restoreParallel(meta *checkpoint.Meta, st *checkpoint.EngineState, o Option
 	cfg.DiscardStats = o.discard
 	cfg.Faults = o.faults
 	cfg.Watchdog = o.watchdog
+	cfg.Guard = o.guard
+	cfg.Sabotage = o.sabotage
 	cfg.Restore = st
 	eng, err := core.NewEngine(cfg, sys)
 	if err != nil {
@@ -208,6 +234,7 @@ func restoreStatic(meta *checkpoint.Meta, st *checkpoint.EngineState, o Options)
 		Pair: potential.NewPaperLJ(), Ext: ext,
 		Dt: o.dtOrDefault(), Tref: units.PaperTref, RescaleEvery: units.PaperRescaleInterval,
 		Shards: meta.Shards, Metrics: o.metrics, Faults: o.faults, Watchdog: o.watchdog,
+		Guard: o.guard, Sabotage: o.sabotage,
 		Restore: st,
 	}
 	eng, err := corestatic.NewEngine(cfg, sys)

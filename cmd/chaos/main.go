@@ -21,14 +21,24 @@
 // file, then recovered strictly from the file and finished; the combined
 // trace must be identical to the uninterrupted run's. Exit status is
 // non-zero if recovery diverges.
+//
+// -panic-at / -corrupt-at select the self-healing scenario: one run is
+// sabotaged at the given step (a PE panic, or a NaN velocity that the
+// physics guards must catch) while running under the supervisor
+// (-max-retries, -retry-backoff); the supervisor must roll back to the
+// latest checkpoint, resume, and finish with a trace identical to an
+// unsabotaged golden run. Exit status is non-zero if recovery diverges or
+// the supervisor gives up.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"permcell"
 	"permcell/internal/comm"
 	"permcell/internal/experiments"
 	"permcell/internal/trace"
@@ -51,7 +61,13 @@ func main() {
 	watchdog := flag.Duration("watchdog", 2*time.Minute, "deadlock watchdog timeout (0 disables)")
 	eventsOut := flag.String("events", "", "write the replay run's fault-event CSV to this file")
 	killAt := flag.Int("kill-at", 0, "kill-and-recover scenario: hard-stop after this many steps, recover from the checkpoint, diff against the uninterrupted trace (0 = replay scenario)")
-	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory for -kill-at (default: a temporary directory)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory for -kill-at and the self-heal scenarios (default: a temporary directory)")
+	panicAt := flag.Int("panic-at", 0, "self-heal scenario: inject a PE panic at this step and demand supervised recovery to the golden trace (0 = off)")
+	corruptAt := flag.Int("corrupt-at", 0, "self-heal scenario: inject a NaN velocity at this step; the physics guard must catch it and recovery must reach the golden trace (0 = off)")
+	sabotageRank := flag.Int("sabotage-rank", 1, "rank the -panic-at/-corrupt-at sabotage fires on")
+	maxRetries := flag.Int("max-retries", 3, "supervisor retry budget for the self-heal scenarios")
+	retryBackoff := flag.Duration("retry-backoff", time.Millisecond, "initial supervisor retry backoff for the self-heal scenarios")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence for the self-heal scenarios (0 = steps/4)")
 
 	flag.Parse()
 
@@ -84,6 +100,20 @@ func main() {
 	fmt.Printf("chaos: P=%d m=%d rho=%g steps=%d seed=%d shards=%d\n", *p, *m, *rho, *steps, *seed, *shards)
 	fmt.Printf("plan: delay %.2g<=%v reorder %.2g(depth %d) fail %.2g stalls %d x %v watchdog %v\n",
 		*delayProb, *maxDelay, *reorderProb, *reorderDepth, *failProb, *stalls, *stallDur, *watchdog)
+
+	if *panicAt > 0 || *corruptAt > 0 {
+		kind, at := permcell.SabotagePanic, *panicAt
+		if *corruptAt > 0 {
+			kind, at = permcell.SabotageNaN, *corruptAt
+		}
+		selfHeal(selfHealSpec{
+			m: *m, p: *p, rho: *rho, steps: *steps, seed: *seed, shards: *shards,
+			kind: kind, at: at, rank: *sabotageRank,
+			retries: *maxRetries, backoff: *retryBackoff,
+			every: *ckptEvery, dir: *ckptDir,
+		})
+		return
+	}
 
 	if *killAt > 0 {
 		killResume(spec, *killAt, *ckptDir)
@@ -162,4 +192,95 @@ func killResume(spec experiments.ChaosSpec, killAt int, dir string) {
 		os.Exit(1)
 	}
 	fmt.Printf("recovery identical: golden trace %016x reproduced across kill and restore\n", r.GoldenHash)
+}
+
+type selfHealSpec struct {
+	m, p    int
+	rho     float64
+	steps   int
+	seed    uint64
+	shards  int
+	kind    string // permcell.SabotagePanic or permcell.SabotageNaN
+	at      int    // sabotage step
+	rank    int    // sabotage rank
+	retries int
+	backoff time.Duration
+	every   int    // checkpoint cadence (0 = steps/4)
+	dir     string // checkpoint directory ("" = temporary)
+}
+
+// selfHeal runs the self-healing scenario: a golden uninterrupted run, then
+// the same run sabotaged mid-flight under the supervisor, which must roll
+// back to a checkpoint, resume, and converge to the identical trace. Exits
+// non-zero on divergence or when the supervisor gives up.
+func selfHeal(s selfHealSpec) {
+	if s.dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-heal-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		s.dir = tmp
+	}
+	if s.every <= 0 {
+		s.every = max(1, s.steps/4)
+	}
+	base := []permcell.Option{
+		permcell.WithDLB(), permcell.WithSeed(s.seed),
+		permcell.WithWells(1, 1.5), permcell.WithShards(s.shards),
+	}
+	fmt.Printf("self-heal: sabotage %s at step %d rank %d, checkpoints every %d, budget %d\n",
+		s.kind, s.at, s.rank, s.every, s.retries)
+
+	t0 := time.Now()
+	golden, err := permcell.Run(context.Background(), s.m, s.p, s.rho, s.steps, base...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: golden run:", err)
+		os.Exit(1)
+	}
+	goldenHash := experiments.TraceHash(golden.Stats)
+	fmt.Printf("golden: N=%d trace %016x in %v\n",
+		golden.Final.Len(), goldenHash, time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	eng, err := permcell.New(s.m, s.p, s.rho, append(base,
+		permcell.WithCheckpoint(s.every, s.dir),
+		permcell.WithSupervisor(permcell.SupervisorPolicy{
+			MaxRetries: s.retries,
+			Backoff:    s.backoff,
+			OnEvent: func(ev permcell.SupervisorEvent) {
+				if ev.Kind == "rollback" {
+					fmt.Printf("  supervisor: rollback to step %d from %s\n", ev.RestoredStep, ev.Checkpoint)
+				} else {
+					fmt.Printf("  supervisor: %s at step %d: %s\n", ev.Kind, ev.Step, ev.Err)
+				}
+			},
+		}),
+		permcell.WithSabotage(&permcell.Sabotage{Kind: s.kind, Step: s.at, Rank: s.rank}),
+	)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: supervised run:", err)
+		os.Exit(1)
+	}
+	res, err := permcell.RunEngine(context.Background(), eng, s.steps)
+	rep := permcell.SupervisionReport(eng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: SUPERVISED RUN FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	healedHash := experiments.TraceHash(res.Stats)
+	fmt.Printf("healed: trace %016x in %v; %d rollbacks, %d retries, %d steps replayed\n",
+		healedHash, time.Since(t0).Round(time.Millisecond),
+		rep.Rollbacks, rep.Retries, rep.StepsReplayed)
+	if rep.Rollbacks == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: SABOTAGE DID NOT FIRE: no rollback recorded")
+		os.Exit(1)
+	}
+	if healedHash != goldenHash {
+		fmt.Fprintf(os.Stderr, "chaos: RECOVERY DIVERGED: golden %016x vs healed %016x\n",
+			goldenHash, healedHash)
+		os.Exit(1)
+	}
+	fmt.Printf("recovery identical: golden trace %016x reproduced across sabotage and rollback\n", goldenHash)
 }

@@ -9,12 +9,21 @@
 //	      [-wellk 1.5] [-dt 0.005] [-hyst 0.1] [-seed 1] [-shards 1]
 //	      [-o out.csv] [-metrics phases.jsonl] [-prom metrics.prom]
 //	      [-checkpoint-every 500] [-checkpoint-dir ckpt] [-resume ckpt]
+//	      [-max-retries 3] [-backoff 50ms]
 //	      [-cpuprofile cpu.pprof] [-trace trace.out]
 //
 // Rows stream as the simulation advances (the run is O(1) in memory), so a
 // long run can be watched with tail -f. Interrupting with Ctrl-C stops at
 // the next step boundary, writes a final checkpoint when -checkpoint-dir is
-// set, and still flushes a complete CSV prefix.
+// set, and still flushes a complete CSV prefix; a second Ctrl-C during that
+// final flush forces an immediate non-zero exit.
+//
+// -max-retries enables the self-healing supervisor (requires
+// -checkpoint-dir): PE panics, physics-guard violations and watchdog
+// deadlocks roll the run back to the latest valid checkpoint and resume,
+// with exponential backoff starting at -backoff, up to the given number of
+// attempts; recovery events stream to stderr and the run totals land in the
+// -prom snapshot as permcell_recovery_* counters.
 //
 // -checkpoint-dir enables checkpointing into the given directory (an
 // atomic latest/previous pair); -checkpoint-every adds an automatic cadence
@@ -65,6 +74,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a checkpoint every N steps (0 = only at interrupt)")
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (enables checkpointing)")
 	resume := flag.String("resume", "", "resume from a checkpoint file or directory")
+	maxRetries := flag.Int("max-retries", -1, "enable the self-healing supervisor with this retry budget (requires -checkpoint-dir; -1 = off)")
+	backoff := flag.Duration("backoff", 0, "initial supervisor retry backoff, doubling per attempt (0 = default 50ms)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
@@ -73,9 +84,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdrun: -checkpoint-every requires -checkpoint-dir")
 		os.Exit(1)
 	}
+	if *maxRetries >= 0 && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "mdrun: -max-retries requires -checkpoint-dir (the supervisor rolls back to checkpoints)")
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// A second interrupt during the final flush (checkpoint write, engine
+	// teardown, CSV flush) means "stop now": force a non-zero exit instead
+	// of making the user wait out a stuck teardown.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		<-sigc
+		fmt.Fprintln(os.Stderr, "mdrun: second interrupt; forcing exit")
+		os.Exit(130)
+	}()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -184,6 +210,21 @@ func main() {
 	if *ckptDir != "" {
 		opts = append(opts, permcell.WithCheckpoint(*ckptEvery, *ckptDir))
 	}
+	if *maxRetries >= 0 {
+		opts = append(opts, permcell.WithSupervisor(permcell.SupervisorPolicy{
+			MaxRetries: *maxRetries,
+			Backoff:    *backoff,
+			OnEvent: func(ev permcell.SupervisorEvent) {
+				switch ev.Kind {
+				case "rollback":
+					fmt.Fprintf(os.Stderr, "mdrun: supervisor: rollback to step %d from %s (attempt %d)\n",
+						ev.RestoredStep, ev.Checkpoint, ev.Attempt)
+				default:
+					fmt.Fprintf(os.Stderr, "mdrun: supervisor: %s at step %d: %s\n", ev.Kind, ev.Step, ev.Err)
+				}
+			},
+		}))
+	}
 
 	var eng permcell.Engine
 	var err error
@@ -202,6 +243,23 @@ func main() {
 	}
 
 	res, err := drive(ctx, eng, *steps, *ckptDir != "")
+	if rep := permcell.SupervisionReport(eng); rep != nil {
+		if len(rep.Events) > 0 {
+			fmt.Fprintf(os.Stderr, "mdrun: supervisor: %d rollbacks, %d retries, %d steps replayed (panics=%d guards=%d deadlocks=%d exhausted=%v)\n",
+				rep.Rollbacks, rep.Retries, rep.StepsReplayed,
+				rep.RankFailures, rep.GuardViolations, rep.Deadlocks, rep.Exhausted)
+		}
+		if collect {
+			cum.Recovery = &metrics.Recovery{
+				Panics:          int64(rep.RankFailures),
+				GuardViolations: int64(rep.GuardViolations),
+				Deadlocks:       int64(rep.Deadlocks),
+				Rollbacks:       int64(rep.Rollbacks),
+				Retries:         int64(rep.Retries),
+				StepsReplayed:   int64(rep.StepsReplayed),
+			}
+		}
+	}
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "mdrun: interrupted; partial run flushed")
 		err = nil
@@ -209,22 +267,27 @@ func main() {
 	if err == nil {
 		err = writeErr
 	}
+	// The Prometheus snapshot is written even when the run failed: a
+	// degraded supervised run's recovery counters are exactly what the
+	// operator wants to scrape afterwards.
+	if *promOut != "" {
+		f, perr := os.Create(*promOut)
+		if perr == nil {
+			perr = cum.WritePrometheus(f)
+			if cerr := f.Close(); perr == nil {
+				perr = cerr
+			}
+		}
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", perr)
+			if err == nil {
+				err = perr
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdrun:", err)
 		os.Exit(1)
-	}
-	if *promOut != "" {
-		f, err := os.Create(*promOut)
-		if err == nil {
-			err = cum.WritePrometheus(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mdrun:", err)
-			os.Exit(1)
-		}
 	}
 	fmt.Fprintf(os.Stderr, "mdrun: N=%d dlb=%v shards=%d msgs=%d bytes=%d\n",
 		res.Final.Len(), *dlbOn, *shards, res.CommMsgs, res.CommBytes)

@@ -55,6 +55,17 @@ const (
 // goroutines idle awaiting the first Step.
 func New(m, p int, rho float64, opts ...Option) (Engine, error) {
 	o := buildOptions(opts)
+	if o.supervisor != nil {
+		return supervised(o, 0, func(oin Options) (Engine, error) {
+			return newParallel(m, p, rho, oin)
+		})
+	}
+	return newParallel(m, p, rho, o)
+}
+
+// newParallel builds the parallel engine from a resolved Options value (the
+// supervisor rebuilds engines through it across rollbacks).
+func newParallel(m, p int, rho float64, o Options) (Engine, error) {
 	spec := experiments.RunSpec{
 		M: m, P: p, Rho: rho, DLB: o.dlb, Seed: o.seed, Dt: o.dt,
 		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
@@ -68,6 +79,8 @@ func New(m, p int, rho float64, opts ...Option) (Engine, error) {
 	cfg.DiscardStats = o.discard
 	cfg.Faults = o.faults
 	cfg.Watchdog = o.watchdog
+	cfg.Guard = o.guard
+	cfg.Sabotage = o.sabotage
 	eng, err := core.NewEngine(cfg, sys)
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
@@ -202,6 +215,15 @@ func (o Options) dtOrDefault() float64 {
 // StepStats fields; DLB-only fields stay zero.
 func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, error) {
 	o := buildOptions(opts)
+	if o.supervisor != nil {
+		return supervised(o, 0, func(oin Options) (Engine, error) {
+			return newStatic(shape, nc, p, rho, oin)
+		})
+	}
+	return newStatic(shape, nc, p, rho, o)
+}
+
+func newStatic(shape Shape, nc, p int, rho float64, o Options) (Engine, error) {
 	sys, g, ext, err := buildSystem(nc, rho, o)
 	if err != nil {
 		return nil, err
@@ -211,6 +233,7 @@ func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, err
 		Pair: potential.NewPaperLJ(), Ext: ext,
 		Dt: o.dtOrDefault(), Tref: units.PaperTref, RescaleEvery: units.PaperRescaleInterval,
 		Shards: o.shards, Metrics: o.metrics, Faults: o.faults, Watchdog: o.watchdog,
+		Guard: o.guard, Sabotage: o.sabotage,
 	}
 	eng, err := corestatic.NewEngine(cfg, sys)
 	if err != nil {
@@ -311,6 +334,15 @@ func (e *staticEngine) Result() (*Result, error) {
 // are ignored.
 func NewSerial(nc int, rho float64, opts ...Option) (Engine, error) {
 	o := buildOptions(opts)
+	if o.supervisor != nil {
+		return supervised(o, 0, func(oin Options) (Engine, error) {
+			return newSerial(nc, rho, oin)
+		})
+	}
+	return newSerial(nc, rho, o)
+}
+
+func newSerial(nc int, rho float64, o Options) (Engine, error) {
 	sys, g, ext, err := buildSystem(nc, rho, o)
 	if err != nil {
 		return nil, err

@@ -107,6 +107,29 @@ func CaptureFrame(fr *Frame, rank int, s *particle.Set, cols []int) {
 	fr.Cols = append([]int(nil), cols...)
 }
 
+// CheckFinite verifies every particle in every frame has finite position
+// and velocity. The supervisor runs it on a loaded checkpoint before
+// restoring: a checkpoint that captured an already-corrupt state (e.g. a
+// NaN that slipped in between guard passes) must be rejected so the
+// rollback falls through to the previous file instead of replaying the
+// corruption.
+func CheckFinite(frames []Frame) error {
+	for r := range frames {
+		f := &frames[r]
+		if len(f.ID) != len(f.Pos) || len(f.Pos) != len(f.Vel) {
+			return fmt.Errorf("checkpoint: rank %d frame has ragged arrays id=%d pos=%d vel=%d",
+				f.Rank, len(f.ID), len(f.Pos), len(f.Vel))
+		}
+		for i := range f.Pos {
+			if !f.Pos[i].IsFinite() || !f.Vel[i].IsFinite() {
+				return fmt.Errorf("checkpoint: rank %d particle %d has non-finite state (pos=%v vel=%v)",
+					f.Rank, f.ID[i], f.Pos[i], f.Vel[i])
+			}
+		}
+	}
+	return nil
+}
+
 // EngineState is the assembled distributed snapshot an engine produces
 // (Engine.Snapshot) and consumes (Config.Restore): the step counter, one
 // frame per rank, and the cumulative communication counters.

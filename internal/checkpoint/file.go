@@ -72,8 +72,8 @@ func readSection(r io.Reader, v any) error {
 	if n > maxSection {
 		return fmt.Errorf("checkpoint: section length %d exceeds limit (corrupt header?)", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readPayload(r, int(n))
+	if err != nil {
 		return fmt.Errorf("checkpoint: reading section payload: %w", err)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != want {
@@ -83,6 +83,28 @@ func readSection(r io.Reader, v any) error {
 		return fmt.Errorf("checkpoint: decoding section: %w", err)
 	}
 	return nil
+}
+
+// readPayload reads exactly n bytes in bounded chunks, growing as data
+// actually arrives. A corrupt length field on a truncated file thus fails
+// with at most one chunk allocated, instead of committing up to maxSection
+// bytes up front on the attacker-controlled (or fuzzer-controlled) length.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < n {
+		c := min(n-len(buf), chunk)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(r, buf[len(buf)-c:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // Encode writes a complete checkpoint stream.

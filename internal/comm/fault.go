@@ -88,10 +88,20 @@ type heldMsg struct {
 }
 
 // link is the sender-side fault state of one directed (src, dst) pair. It
-// is owned by the source rank's goroutine; no locking.
+// is owned by the source rank's goroutine; no locking — except heldN, an
+// atomic mirror of len(held) so the watchdog can dump held-message counts
+// from outside the owner goroutine without racing it.
 type link struct {
-	rng  *rng.Source
-	held []heldMsg
+	rng   *rng.Source
+	held  []heldMsg
+	heldN atomic.Int64
+}
+
+// setHeld replaces the held queue and refreshes the atomic mirror. Only the
+// owning (source rank) goroutine calls it.
+func (lk *link) setHeld(held []heldMsg) {
+	lk.held = held
+	lk.heldN.Store(int64(len(held)))
 }
 
 // faultState is the per-world fault-injection state.
@@ -225,14 +235,14 @@ func (c *Comm) trySend(dst, tag int, data any, size int64) error {
 				kept = append(kept, h)
 			}
 		}
-		lk.held = kept
+		lk.setHeld(kept)
 	}
 
 	if fs.plan.ReorderProb > 0 && len(lk.held) < fs.plan.ReorderDepth &&
 		lk.rng.Float64() < fs.plan.ReorderProb {
 		fs.reorders.Add(1)
 		fs.record(trace.FaultEvent{Rank: c.rank, Peer: dst, Tag: tag, Kind: "reorder", Seq: c.ops})
-		lk.held = append(lk.held, heldMsg{m: m, overtake: 1 + lk.rng.Intn(fs.plan.ReorderDepth)})
+		lk.setHeld(append(lk.held, heldMsg{m: m, overtake: 1 + lk.rng.Intn(fs.plan.ReorderDepth)}))
 		return nil
 	}
 
@@ -249,7 +259,7 @@ func (c *Comm) trySend(dst, tag int, data any, size int64) error {
 				kept = append(kept, h)
 			}
 		}
-		lk.held = kept
+		lk.setHeld(kept)
 	}
 	return nil
 }
@@ -286,7 +296,7 @@ func (c *Comm) flushHeld() {
 			continue
 		}
 		held := lk.held
-		lk.held = nil
+		lk.setHeld(nil)
 		for _, h := range held {
 			// Bypass the full-inbox flush (we are the flush): plain send.
 			c.w.msgs.Add(1)

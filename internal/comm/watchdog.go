@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,11 @@ type RankState struct {
 	Pending    []string      // buffered messages awaiting a matching Recv
 	Blocked    bool          // currently inside a blocking wait
 	For        time.Duration // how long the current block has lasted
+	// Held lists this rank's fault-layer links with messages held back for
+	// reordering ("dst=N held=K"); empty without a fault plan. A held
+	// message a peer is blocked waiting for is the classic way an injected
+	// reorder turns into an apparent deadlock, so the dump surfaces it.
+	Held []string
 }
 
 func (s RankState) String() string {
@@ -100,8 +106,12 @@ func (s RankState) String() string {
 	if len(s.Pending) > 0 {
 		pend = fmt.Sprintf(", pending [%s]", strings.Join(s.Pending, "; "))
 	}
-	return fmt.Sprintf("rank %d: %s %s %s (ops=%d, barrier gen %d%s)",
-		s.Rank, state, s.LastOp, s.Detail, s.Ops, s.BarrierGen, pend)
+	held := ""
+	if len(s.Held) > 0 {
+		held = fmt.Sprintf(", holding [%s]", strings.Join(s.Held, "; "))
+	}
+	return fmt.Sprintf("rank %d: %s %s %s (ops=%d, barrier gen %d%s%s)",
+		s.Rank, state, s.LastOp, s.Detail, s.Ops, s.BarrierGen, pend, held)
 }
 
 // Snapshot returns the current per-rank state. It is empty unless the
@@ -128,15 +138,38 @@ func (w *World) Snapshot() []RankState {
 			out[i].For = time.Since(r.since)
 		}
 		r.mu.Unlock()
+		out[i].Held = w.heldLinks(i)
+	}
+	return out
+}
+
+// heldLinks reports rank src's fault-layer links that are currently holding
+// messages back for reordering, via the links' atomic counters (the held
+// queues themselves are owned by the sender goroutine and are not read).
+func (w *World) heldLinks(src int) []string {
+	if w.fs == nil {
+		return nil
+	}
+	var out []string
+	for dst, lk := range w.fs.links[src] {
+		if n := lk.heldN.Load(); n > 0 {
+			out = append(out, fmt.Sprintf("dst=%d held=%d", dst, n))
+		}
 	}
 	return out
 }
 
 // DeadlockError reports that no rank made progress for the watchdog
-// timeout. It carries the per-rank state dump that replaces the hung run.
+// timeout. It carries the per-rank state dump that replaces the hung run,
+// plus a full goroutine stack dump taken at detection time — the per-rank
+// states say *what* each rank was doing, the stacks say *where* in the
+// protocol it is stuck.
 type DeadlockError struct {
 	Timeout time.Duration
 	Ranks   []RankState
+	// Stacks is the all-goroutine stack dump captured when the watchdog
+	// fired (empty only if capture failed).
+	Stacks string
 }
 
 func (e *DeadlockError) Error() string {
@@ -146,7 +179,18 @@ func (e *DeadlockError) Error() string {
 		b.WriteString("\n  ")
 		b.WriteString(r.String())
 	}
+	if e.Stacks != "" {
+		b.WriteString("\ngoroutine stacks at detection:\n")
+		b.WriteString(e.Stacks)
+	}
 	return b.String()
+}
+
+// allStacks captures every goroutine's stack, bounded at 1 MiB.
+func allStacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return string(buf[:n])
 }
 
 // RunWatched is Run under a deadlock watchdog: if no rank completes a
@@ -211,7 +255,7 @@ func (w *World) WatchSection(timeout time.Duration, done <-chan struct{}) error 
 				continue
 			}
 			if time.Since(lastChange) >= timeout {
-				return &DeadlockError{Timeout: timeout, Ranks: w.Snapshot()}
+				return &DeadlockError{Timeout: timeout, Ranks: w.Snapshot(), Stacks: allStacks()}
 			}
 		}
 	}

@@ -105,6 +105,72 @@ func TestWatchdogToleratesStalls(t *testing.T) {
 	}
 }
 
+// TestWatchdogDumpIncludesStacks asserts the deadlock error carries the
+// all-goroutine stack dump, so a wedged protocol can be located in code and
+// not just in the per-rank op log.
+func TestWatchdogDumpIncludesStacks(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.RunWatched(150*time.Millisecond, func(c *Comm) {
+		c.Recv(1-c.Rank(), 42)
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if !strings.Contains(de.Stacks, "goroutine") {
+		t.Fatal("DeadlockError.Stacks has no goroutine dump")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "goroutine stacks at detection") {
+		t.Errorf("rendered error omits the stack dump:\n%.400s", msg)
+	}
+}
+
+// TestSnapshotShowsHeldMessages asserts the state dump surfaces fault-layer
+// link state: a message held back for reordering shows up as "holding" on
+// the sender's rank — the signature of an injected reorder when a peer
+// appears stuck waiting for a message that was in fact sent. (A held message
+// cannot persist into a real deadlock — flushHeld runs before every blocking
+// op — so the test snapshots mid-flight while the holder is parked outside
+// the comm layer.)
+func TestSnapshotShowsHeldMessages(t *testing.T) {
+	w, _ := NewWorld(2, WithFaults(FaultPlan{
+		Seed:         7,
+		ReorderProb:  1,
+		ReorderDepth: 4,
+	}))
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Send(1, 5, "held back") // reorder layer holds this with prob 1
+				close(holding)
+				<-release
+				c.Recv(1, 6) // flushes the held message first
+			} else {
+				c.Recv(0, 5)
+				c.Send(0, 6, "ok")
+			}
+		})
+	}()
+	<-holding
+	snap := w.Snapshot()
+	if got := snap[0].Held; len(got) != 1 || got[0] != "dst=1 held=1" {
+		t.Errorf("rank 0 held links = %v, want [dst=1 held=1]", got)
+	}
+	if !strings.Contains(snap[0].String(), "holding [dst=1 held=1]") {
+		t.Errorf("rendered state omits held link: %s", snap[0])
+	}
+	close(release)
+	<-done
+	if got := w.Snapshot()[0].Held; len(got) != 0 {
+		t.Errorf("held links not flushed by the blocking recv: %v", got)
+	}
+}
+
 // TestWatchdogDumpShowsPending asserts the dump includes buffered messages
 // that arrived but never matched — the clue for tag-mismatch bugs.
 func TestWatchdogDumpShowsPending(t *testing.T) {

@@ -38,6 +38,7 @@ import (
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
+	"permcell/internal/supervise"
 	"permcell/internal/trace"
 	"permcell/internal/workload"
 )
@@ -121,6 +122,18 @@ type Config struct {
 	// set, C' bound) plus the global checks — every column hosted exactly
 	// once and the particle count conserved. Chaos runs set this.
 	Verify bool
+	// Guard, when non-nil and not Disabled, runs the cheap runtime physics
+	// guards at the stats cadence: finite positions/velocities, particle
+	// conservation and an energy-drift ceiling. A violation surfaces as a
+	// typed *supervise.GuardViolation — raised before the offending step's
+	// stats are emitted, so neither the trace nor a checkpoint sees the
+	// corrupt state.
+	Guard *supervise.GuardConfig
+	// Sabotage, when non-nil, injects one scripted fault (a PE panic or a
+	// NaN) for chaos-testing the recovery path. The pointer is shared
+	// across engine incarnations so a post-rollback replay does not
+	// re-fire it.
+	Sabotage *supervise.Sabotage
 
 	// Restore, when non-nil, starts the run from a distributed snapshot
 	// instead of distributing sys: each PE takes its frame's particles in
@@ -201,6 +214,9 @@ type Result struct {
 	// M is the derived square-pillar cross-section size.
 	M int
 }
+
+// guardOn reports whether the runtime physics guards are armed.
+func (cfg *Config) guardOn() bool { return cfg.Guard != nil && !cfg.Guard.Disabled }
 
 // Layout derives the DLB layout (torus side s and block size m) from cfg.
 func (cfg *Config) Layout() (dlb.Layout, error) {
@@ -312,6 +328,9 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 	if cfg.Faults != nil {
 		opts = append(opts, comm.WithFaults(*cfg.Faults))
 	}
+	if cfg.Watchdog > 0 {
+		opts = append(opts, comm.WithTracking())
+	}
 	world, err := comm.NewWorld(cfg.P, opts...)
 	if err != nil {
 		return nil, err
@@ -322,18 +341,22 @@ func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
 		return nil, err
 	}
 
-	// Internal protocol violations (which indicate engine bugs, not user
-	// errors) panic inside the PE goroutines, mirroring MPI_Abort.
+	// Internal protocol violations and guard violations panic inside the
+	// PE goroutines; the trap converts them into typed errors instead of
+	// taking down the process. On a failure the surviving ranks are
+	// abandoned wherever they block, the MPI_Abort analogue.
 	res := &Result{M: layout.M}
-	peMain := func(c *comm.Comm) {
-		newPE(c, &cfg, layout, sys, hosts).run(steps, res)
-	}
-	if cfg.Watchdog > 0 {
-		if err := world.RunWatched(cfg.Watchdog, peMain); err != nil {
-			return nil, err
-		}
-	} else {
-		world.Run(peMain)
+	trap := supervise.NewTrap()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		world.Run(func(c *comm.Comm) {
+			defer trap.Catch(c.Rank())
+			newPE(c, &cfg, layout, sys, hosts).run(steps, res)
+		})
+	}()
+	if err := awaitBatch(world, cfg.Watchdog, runDone, trap); err != nil {
+		return nil, err
 	}
 	res.CommMsgs, res.CommBytes = world.Stats()
 	res.Faults = world.FaultStats()

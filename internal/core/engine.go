@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/potential"
+	"permcell/internal/supervise"
 	"permcell/internal/workload"
 )
 
@@ -31,6 +33,12 @@ type Engine struct {
 	done    bool
 	finRes  *Result
 	finErr  error
+
+	// trap converts PE-goroutine panics into typed failures: a crashed or
+	// guard-tripped rank surfaces as a prompt *supervise.RankFailure /
+	// *supervise.GuardViolation from Step instead of taking down the process
+	// (or waiting out the watchdog).
+	trap *supervise.Trap
 
 	snap []checkpoint.Frame // per-rank snapshot slots (written on cmdSnapshot)
 	// base carries the restore point: the absolute step the engine started
@@ -86,6 +94,7 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 		cmd:     make([]chan int, cfg.P),
 		ack:     make(chan struct{}, cfg.P),
 		runDone: make(chan struct{}),
+		trap:    supervise.NewTrap(),
 		snap:    make([]checkpoint.Frame, cfg.P),
 	}
 	if cfg.Restore != nil {
@@ -99,6 +108,7 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 	go func() {
 		defer close(e.runDone)
 		world.Run(func(c *comm.Comm) {
+			defer e.trap.Catch(c.Rank())
 			newPE(c, &e.cfg, layout, sys, hosts).runStepwise(e.cmd[c.Rank()], e.ack, e.res, e.snap)
 		})
 	}()
@@ -110,14 +120,43 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 	return e, nil
 }
 
+// awaitBatch waits for one batch of PE work under both failure detectors:
+// the comm watchdog (timeout without progress) and the panic trap (a rank
+// died). The trap wins ties — a dead rank wedges its peers, so a recorded
+// failure explains an apparent deadlock and is the error the caller should
+// see.
+func awaitBatch(w *comm.World, timeout time.Duration, done <-chan struct{}, trap *supervise.Trap) error {
+	merged := make(chan struct{})
+	go func() {
+		defer close(merged)
+		select {
+		case <-done:
+		case <-trap.Failed():
+		}
+	}()
+	err := w.WatchSection(timeout, merged)
+	if terr := trap.Err(); terr != nil {
+		return terr
+	}
+	return err
+}
+
 // Step advances the simulation by n time steps and blocks until every PE
 // has completed the batch. Under a positive cfg.Watchdog a communication
-// stall inside the batch returns a *DeadlockError instead of hanging; the
-// engine is then unusable (its ranks are left blocked, as after a real
-// deadlock).
+// stall inside the batch returns a *DeadlockError instead of hanging; a PE
+// panic or guard violation returns the typed *supervise.RankFailure /
+// *supervise.GuardViolation promptly. Either way the engine is then
+// unusable (its surviving ranks are left blocked, as after a real
+// deadlock); under a supervisor the run is rolled back to a checkpoint.
 func (e *Engine) Step(n int) error {
 	if e.err != nil {
 		return e.err
+	}
+	if terr := e.trap.Err(); terr != nil {
+		// A rank died during init or a prior batch's tail: fail fast
+		// instead of queueing commands to a dead world.
+		e.err = terr
+		return terr
 	}
 	if e.done {
 		return fmt.Errorf("core: Step after Finish")
@@ -139,7 +178,7 @@ func (e *Engine) Step(n int) error {
 		close(done)
 	}()
 	e.batch = done
-	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+	if err := awaitBatch(e.world, e.cfg.Watchdog, done, e.trap); err != nil {
 		e.err = err
 		return err
 	}
@@ -166,6 +205,10 @@ func (e *Engine) Snapshot() (*checkpoint.EngineState, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
+	if terr := e.trap.Err(); terr != nil {
+		e.err = terr
+		return nil, terr
+	}
 	if e.done {
 		return nil, fmt.Errorf("core: Snapshot after Finish")
 	}
@@ -179,7 +222,7 @@ func (e *Engine) Snapshot() (*checkpoint.EngineState, error) {
 		}
 		close(done)
 	}()
-	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+	if err := awaitBatch(e.world, e.cfg.Watchdog, done, e.trap); err != nil {
 		e.err = err
 		return nil, err
 	}
@@ -231,6 +274,16 @@ func (e *Engine) Finish() (*Result, error) {
 }
 
 func (e *Engine) finish() (*Result, error) {
+	if terr := e.trap.Err(); terr != nil {
+		// A rank died: the world can never complete a collective shutdown,
+		// so abandon it outright (the MPI_Abort analogue). No partial
+		// Result either — surviving ranks may still be mid-batch appending
+		// to it concurrently.
+		if e.err == nil {
+			e.err = terr
+		}
+		return nil, e.err
+	}
 	watch := e.cfg.Watchdog
 	if e.err != nil {
 		// Salvage: give the stalled batch an extended grace to drain.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"permcell/internal/kernel"
 	"permcell/internal/metrics"
 	"permcell/internal/particle"
+	"permcell/internal/supervise"
 	"permcell/internal/topology"
 	"permcell/internal/vec"
 	"permcell/internal/workload"
@@ -74,8 +76,15 @@ type pe struct {
 	lastWall float64 // wall seconds of last force computation
 	potE     float64 // local share of potential energy
 	moved    int     // columns moved by my decision this step
-	initN    int64   // global particle count at step 0 (Verify only)
+	initN    int64   // global particle count at step 0 (Verify or Guard)
 	step0    int     // absolute step the run starts at (checkpoint restore)
+
+	// Energy-drift guard reference: the total energy of the first census
+	// after (re)start. Per-incarnation on purpose — a restored engine
+	// re-anchors, so the ceiling bounds drift since the checkpoint, not
+	// since step 0 of a run that may long predate it.
+	guardE0    float64
+	guardE0Set bool
 
 	tm *metrics.Timer // per-phase timing; nil unless cfg.Metrics
 }
@@ -147,7 +156,7 @@ func (p *pe) init() {
 	p.rebuild()
 	p.haloExchange()
 	p.computeForces()
-	if p.cfg.Verify {
+	if p.cfg.Verify || p.cfg.guardOn() {
 		p.initN = p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
 	}
 	// Drain the step-0 accumulation so the first step's phase sample covers
@@ -161,6 +170,9 @@ func (p *pe) init() {
 // whole-step wall time; the census allgather itself and the Verify
 // collectives run after the wall snapshot and stay outside the taxonomy.
 func (p *pe) oneStep(step int, res *Result) {
+	if s := p.cfg.Sabotage; s != nil && s.Kind == supervise.SabotagePanic && s.TryFire(step, p.c.Rank()) {
+		panic(fmt.Sprintf("core: rank %d: injected sabotage panic at step %d", p.c.Rank(), step))
+	}
 	dlbEvery := p.cfg.DLBEvery
 	if dlbEvery < 1 {
 		dlbEvery = 1
@@ -189,6 +201,12 @@ func (p *pe) oneStep(step int, res *Result) {
 		tc := p.tm.Start()
 		p.rescale()
 		p.tm.Stop(metrics.PhaseCollective, tc)
+	}
+	// NaN sabotage corrupts a velocity right before the census so the
+	// finite guard (not a downstream binning panic) is what catches it.
+	if s := p.cfg.Sabotage; s != nil && s.Kind == supervise.SabotageNaN &&
+		s.TryFire(step, p.c.Rank()) && p.set.Len() > 0 {
+		p.set.Vel[0].X = math.NaN()
 	}
 	p.collectStats(step, time.Since(t0).Seconds(), res)
 	if p.cfg.Verify {
@@ -508,6 +526,9 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 	if step%p.cfg.StatsEvery != 0 {
 		return
 	}
+	if p.cfg.guardOn() {
+		p.guardFinite(step)
+	}
 	empty := 0
 	for s := 0; s < p.cl.NumHosted(); s++ {
 		if p.cl.SlotLen(s) == 0 {
@@ -565,11 +586,63 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		st.Temperature = 2 * ke / (3 * float64(totalN))
 	}
 	st.Conc = conc.Compute(pes)
+	if p.cfg.guardOn() {
+		p.guardGlobal(step, st.TotalEnergy, totalN)
+	}
 	if !p.cfg.DiscardStats {
 		res.Stats = append(res.Stats, st)
 	}
 	if p.cfg.OnStep != nil {
 		p.cfg.OnStep(st)
+	}
+}
+
+// guardFinite is the per-rank physics guard: every particle this PE holds
+// must have finite position and velocity. It runs at the stats cadence,
+// before the census is gathered, so a violation prevents the corrupt step
+// from ever reaching the trace or a checkpoint. The panic value is the
+// typed violation itself; the engine trap passes it through unchanged.
+func (p *pe) guardFinite(step int) {
+	for i := range p.set.Pos {
+		if !p.set.Pos[i].IsFinite() || !p.set.Vel[i].IsFinite() {
+			panic(&supervise.GuardViolation{
+				Rank: p.c.Rank(), Step: step, Check: "finite",
+				Detail: fmt.Sprintf("particle %d pos=%v vel=%v", p.set.ID[i], p.set.Pos[i], p.set.Vel[i]),
+			})
+		}
+	}
+}
+
+// guardGlobal runs the rank-0 physics guards over the folded census:
+// particle-count conservation and the relative energy-drift ceiling
+// (anchored at this incarnation's first census).
+func (p *pe) guardGlobal(step int, energy float64, totalN int) {
+	// A NaN would slip past the drift comparison below (NaN > x is false).
+	if math.IsNaN(energy) || math.IsInf(energy, 0) {
+		panic(&supervise.GuardViolation{
+			Rank: 0, Step: step, Check: "finite",
+			Detail: fmt.Sprintf("total energy %g", energy),
+		})
+	}
+	if totalN != int(p.initN) {
+		panic(&supervise.GuardViolation{
+			Rank: 0, Step: step, Check: "conservation",
+			Detail: fmt.Sprintf("global particle count %d, want %d", totalN, p.initN),
+		})
+	}
+	drift := p.cfg.Guard.Drift()
+	if drift <= 0 {
+		return
+	}
+	if !p.guardE0Set {
+		p.guardE0, p.guardE0Set = energy, true
+		return
+	}
+	if math.Abs(energy-p.guardE0) > drift*math.Max(1, math.Abs(p.guardE0)) {
+		panic(&supervise.GuardViolation{
+			Rank: 0, Step: step, Check: "energy-drift",
+			Detail: fmt.Sprintf("total energy %g drifted from %g (ceiling %g relative)", energy, p.guardE0, drift),
+		})
 	}
 }
 

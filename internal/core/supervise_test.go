@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"permcell/internal/supervise"
+)
+
+// TestSabotagePanicBecomesRankFailure: an injected PE panic must surface
+// from Step as a typed *supervise.RankFailure instead of killing the
+// process, and Finish must return the same error without hanging.
+func TestSabotagePanicBecomesRankFailure(t *testing.T) {
+	sys, g := testSystem(t, 6, 0.4, 7)
+	cfg := baseConfig(g, 4)
+	cfg.Sabotage = &supervise.Sabotage{Kind: supervise.SabotagePanic, Step: 3, Rank: 2}
+
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Step(5)
+	var rf *supervise.RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("Step error = %v, want *supervise.RankFailure", err)
+	}
+	if rf.Rank != 2 {
+		t.Errorf("failed rank = %d, want 2", rf.Rank)
+	}
+	if rf.Stack == "" {
+		t.Error("rank failure carries no stack trace")
+	}
+	if _, ferr := eng.Finish(); !errors.As(ferr, &rf) {
+		t.Fatalf("Finish error = %v, want the rank failure", ferr)
+	}
+}
+
+// TestSabotageNaNTripsFiniteGuard: an injected NaN velocity must be caught
+// by the physics guard at the same step's census, as a typed
+// *supervise.GuardViolation, before any poisoned record is emitted.
+func TestSabotageNaNTripsFiniteGuard(t *testing.T) {
+	sys, g := testSystem(t, 6, 0.4, 7)
+	cfg := baseConfig(g, 4)
+	cfg.Guard = &supervise.GuardConfig{}
+	cfg.Sabotage = &supervise.Sabotage{Kind: supervise.SabotageNaN, Step: 3, Rank: 1}
+
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Step(5)
+	var gv *supervise.GuardViolation
+	if !errors.As(err, &gv) {
+		t.Fatalf("Step error = %v, want *supervise.GuardViolation", err)
+	}
+	if gv.Check != "finite" {
+		t.Errorf("guard check = %q, want \"finite\"", gv.Check)
+	}
+	if gv.Step != 3 {
+		t.Errorf("violation step = %d, want 3", gv.Step)
+	}
+	for _, st := range eng.Stats() {
+		if st.Step >= 3 {
+			t.Fatalf("poisoned step %d leaked into stats", st.Step)
+		}
+	}
+	if _, ferr := eng.Finish(); !errors.As(ferr, &gv) {
+		t.Fatalf("Finish error = %v, want the guard violation", ferr)
+	}
+}
+
+// TestGuardsAreTraceNeutral: enabling the guards must not change a healthy
+// run's per-step records (guards only observe; they never alter physics).
+func TestGuardsAreTraceNeutral(t *testing.T) {
+	sys, g := testSystem(t, 6, 0.4, 7)
+	cfg := baseConfig(g, 4)
+	plain, err := Run(cfg, sys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Guard = &supervise.GuardConfig{}
+	guarded, err := Run(cfg, sys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Stats) != len(guarded.Stats) {
+		t.Fatalf("stats length %d vs %d", len(plain.Stats), len(guarded.Stats))
+	}
+	for i := range plain.Stats {
+		a, b := plain.Stats[i], guarded.Stats[i]
+		if a.Step != b.Step || a.TotalEnergy != b.TotalEnergy ||
+			a.Temperature != b.Temperature || a.Moved != b.Moved ||
+			a.WorkMax != b.WorkMax || a.Conc != b.Conc {
+			t.Fatalf("step %d diverged under guards: %+v vs %+v", a.Step, a, b)
+		}
+	}
+}

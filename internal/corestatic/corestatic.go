@@ -8,6 +8,7 @@ package corestatic
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
+	"permcell/internal/supervise"
 	"permcell/internal/vec"
 	"permcell/internal/workload"
 )
@@ -46,6 +48,12 @@ type Config struct {
 	Faults   *comm.FaultPlan
 	Watchdog time.Duration
 	InboxCap int
+
+	// Guard and Sabotage mirror core.Config: runtime physics guards
+	// (finiteness, conservation, energy drift) evaluated at the per-step
+	// census, and a scripted one-shot fault for chaos-testing recovery.
+	Guard    *supervise.GuardConfig
+	Sabotage *supervise.Sabotage
 
 	// Restore, when non-nil, starts the run from a distributed snapshot
 	// instead of distributing sys, exactly as in core.Config: each SPE
@@ -101,9 +109,8 @@ type cellBlock struct {
 }
 
 // setup validates cfg, applies defaults, and builds the decomposition and
-// comm world shared by Run and NewEngine. stepwise arms batch-scoped
-// progress tracking instead of relying on the whole-run watchdog.
-func setup(cfg *Config, stepwise bool) (*decomp.Decomposition, *comm.World, error) {
+// comm world shared by Run and NewEngine.
+func setup(cfg *Config) (*decomp.Decomposition, *comm.World, error) {
 	if cfg.Pair == nil || cfg.Dt <= 0 || cfg.Grid.NumCells() == 0 {
 		return nil, nil, fmt.Errorf("corestatic: incomplete config")
 	}
@@ -140,7 +147,10 @@ func setup(cfg *Config, stepwise bool) (*decomp.Decomposition, *comm.World, erro
 	if cfg.Faults != nil {
 		opts = append(opts, comm.WithFaults(*cfg.Faults))
 	}
-	if stepwise && cfg.Watchdog > 0 {
+	// Batch-scoped progress tracking: both Run and the stepwise engine
+	// watch sections (Run's whole lifetime is one section), so a watchdog
+	// arms tracking on either path.
+	if cfg.Watchdog > 0 {
 		opts = append(opts, comm.WithTracking())
 	}
 	world, err := comm.NewWorld(cfg.P, opts...)
@@ -150,22 +160,43 @@ func setup(cfg *Config, stepwise bool) (*decomp.Decomposition, *comm.World, erro
 	return d, world, nil
 }
 
+// awaitBatch waits for one batch of SPE work under both failure detectors
+// (comm watchdog, panic trap), exactly as internal/core's helper: a
+// recorded failure wins over the deadlock it causes.
+func awaitBatch(w *comm.World, timeout time.Duration, done <-chan struct{}, trap *supervise.Trap) error {
+	merged := make(chan struct{})
+	go func() {
+		defer close(merged)
+		select {
+		case <-done:
+		case <-trap.Failed():
+		}
+	}()
+	err := w.WatchSection(timeout, merged)
+	if terr := trap.Err(); terr != nil {
+		return terr
+	}
+	return err
+}
+
 // Run executes steps time steps on the given system.
 func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
-	d, world, err := setup(&cfg, false)
+	d, world, err := setup(&cfg)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
-	speMain := func(c *comm.Comm) {
-		newSPE(c, &cfg, d, sys).run(steps, res)
-	}
-	if cfg.Watchdog > 0 {
-		if err := world.RunWatched(cfg.Watchdog, speMain); err != nil {
-			return nil, err
-		}
-	} else {
-		world.Run(speMain)
+	trap := supervise.NewTrap()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		world.Run(func(c *comm.Comm) {
+			defer trap.Catch(c.Rank())
+			newSPE(c, &cfg, d, sys).run(steps, res)
+		})
+	}()
+	if err := awaitBatch(world, cfg.Watchdog, runDone, trap); err != nil {
+		return nil, err
 	}
 	res.CommMsgs, res.CommBytes = world.Stats()
 	res.Faults = world.FaultStats()
@@ -190,7 +221,13 @@ type spe struct {
 	lastWall  float64
 	potE      float64
 	ghostSeen int
-	step0     int // absolute step the run starts at (checkpoint restore)
+	initN     int64 // global particle count at step 0 (Guard only)
+	step0     int   // absolute step the run starts at (checkpoint restore)
+
+	// Energy-drift guard reference (first census of this incarnation), as
+	// in core.pe.
+	guardE0    float64
+	guardE0Set bool
 
 	tm *metrics.Timer // per-phase timing; nil unless cfg.Metrics
 }
@@ -240,12 +277,18 @@ func (p *spe) init() {
 	p.rebuild()
 	p.haloExchange()
 	p.computeForces()
+	if p.cfg.guardOn() {
+		p.initN = p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
+	}
 	// Drain the step-0 accumulation so the first step's phase sample covers
 	// only work inside its own wall-clock window.
 	p.tm.TakeSample()
 }
 
 func (p *spe) oneStep(step int, res *Result) {
+	if s := p.cfg.Sabotage; s != nil && s.Kind == supervise.SabotagePanic && s.TryFire(step, p.c.Rank()) {
+		panic(fmt.Sprintf("corestatic: rank %d: injected sabotage panic at step %d", p.c.Rank(), step))
+	}
 	t0 := time.Now()
 	ti := p.tm.Start()
 	integrator.HalfKick(&p.set, p.cfg.Dt)
@@ -268,6 +311,12 @@ func (p *spe) oneStep(step int, res *Result) {
 		n := p.c.AllreduceInt64(int64(p.set.Len()), comm.SumI)
 		integrator.Rescale(&p.set, integrator.RescaleFactor(ke, int(n), p.cfg.Tref))
 		p.tm.Stop(metrics.PhaseCollective, tc)
+	}
+	// NaN sabotage corrupts a velocity right before the census so the
+	// finite guard is what catches it, as in core.
+	if s := p.cfg.Sabotage; s != nil && s.Kind == supervise.SabotageNaN &&
+		s.TryFire(step, p.c.Rank()) && p.set.Len() > 0 {
+		p.set.Vel[0].X = math.NaN()
 	}
 	p.collectStats(step, time.Since(t0).Seconds(), res)
 }
@@ -404,13 +453,17 @@ type record struct {
 	Ghosts int
 	PotE   float64
 	KinE   float64
+	N      int
 	Phases metrics.Sample // zero unless cfg.Metrics
 }
 
 func (p *spe) collectStats(step int, stepWall float64, res *Result) {
+	if p.cfg.guardOn() {
+		p.guardFinite(step)
+	}
 	rec := record{
 		Work: p.lastWork, Step: stepWall, Ghosts: p.ghostSeen,
-		PotE: p.potE, KinE: p.set.KineticEnergy(),
+		PotE: p.potE, KinE: p.set.KineticEnergy(), N: p.set.Len(),
 		Phases: p.tm.TakeSample(),
 	}
 	all := p.c.Allgather(rec)
@@ -418,6 +471,7 @@ func (p *spe) collectStats(step int, stepWall float64, res *Result) {
 		return
 	}
 	st := StepStats{Step: step, WorkMin: -1}
+	var totalN int
 	for _, a := range all {
 		r := a.(record)
 		st.WorkMax = max(st.WorkMax, r.Work)
@@ -429,13 +483,65 @@ func (p *spe) collectStats(step int, stepWall float64, res *Result) {
 		st.TotalEnergy += r.PotE + r.KinE
 		st.StepWallMax = max(st.StepWallMax, r.Step)
 		st.StepWallAve += r.Step
+		totalN += r.N
 		st.Phases.Fold(r.Phases)
 	}
 	st.WorkAve /= float64(len(all))
 	st.StepWallAve /= float64(len(all))
 	st.Phases.Finalize(len(all))
+	if p.cfg.guardOn() {
+		p.guardGlobal(step, st.TotalEnergy, totalN)
+	}
 	res.Stats = append(res.Stats, st)
 }
+
+// guardFinite is the per-rank physics guard (finite positions and
+// velocities), run before the census so a corrupt step never reaches the
+// trace or a checkpoint; see core.pe.guardFinite.
+func (p *spe) guardFinite(step int) {
+	for i := range p.set.Pos {
+		if !p.set.Pos[i].IsFinite() || !p.set.Vel[i].IsFinite() {
+			panic(&supervise.GuardViolation{
+				Rank: p.c.Rank(), Step: step, Check: "finite",
+				Detail: fmt.Sprintf("particle %d pos=%v vel=%v", p.set.ID[i], p.set.Pos[i], p.set.Vel[i]),
+			})
+		}
+	}
+}
+
+// guardGlobal runs the rank-0 guards over the folded census; see
+// core.pe.guardGlobal.
+func (p *spe) guardGlobal(step int, energy float64, totalN int) {
+	if math.IsNaN(energy) || math.IsInf(energy, 0) {
+		panic(&supervise.GuardViolation{
+			Rank: 0, Step: step, Check: "finite",
+			Detail: fmt.Sprintf("total energy %g", energy),
+		})
+	}
+	if totalN != int(p.initN) {
+		panic(&supervise.GuardViolation{
+			Rank: 0, Step: step, Check: "conservation",
+			Detail: fmt.Sprintf("global particle count %d, want %d", totalN, p.initN),
+		})
+	}
+	drift := p.cfg.Guard.Drift()
+	if drift <= 0 {
+		return
+	}
+	if !p.guardE0Set {
+		p.guardE0, p.guardE0Set = energy, true
+		return
+	}
+	if math.Abs(energy-p.guardE0) > drift*math.Max(1, math.Abs(p.guardE0)) {
+		panic(&supervise.GuardViolation{
+			Rank: 0, Step: step, Check: "energy-drift",
+			Detail: fmt.Sprintf("total energy %g drifted from %g (ceiling %g relative)", energy, p.guardE0, drift),
+		})
+	}
+}
+
+// guardOn reports whether the runtime physics guards are armed.
+func (cfg *Config) guardOn() bool { return cfg.Guard != nil && !cfg.Guard.Disabled }
 
 func (p *spe) gatherFinal(res *Result) {
 	mine := make([]particle.One, p.set.Len())

@@ -5,6 +5,7 @@ import (
 
 	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
+	"permcell/internal/supervise"
 	"permcell/internal/workload"
 )
 
@@ -27,6 +28,10 @@ type Engine struct {
 	finRes  *Result
 	finErr  error
 
+	// trap converts SPE-goroutine panics into typed failures, as in
+	// core.Engine.
+	trap *supervise.Trap
+
 	snap []checkpoint.Frame // per-rank snapshot slots (written on cmdSnapshot)
 	// base carries the restore point, as in core.Engine.
 	base                int
@@ -37,7 +42,7 @@ type Engine struct {
 // which compute the step-0 forces and then idle awaiting the first Step.
 // The input system is not modified.
 func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
-	d, world, err := setup(&cfg, true)
+	d, world, err := setup(&cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +53,7 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 		cmd:     make([]chan int, cfg.P),
 		ack:     make(chan struct{}, cfg.P),
 		runDone: make(chan struct{}),
+		trap:    supervise.NewTrap(),
 		snap:    make([]checkpoint.Frame, cfg.P),
 	}
 	if cfg.Restore != nil {
@@ -61,6 +67,7 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 	go func() {
 		defer close(e.runDone)
 		world.Run(func(c *comm.Comm) {
+			defer e.trap.Catch(c.Rank())
 			newSPE(c, &e.cfg, d, sys).runStepwise(e.cmd[c.Rank()], e.ack, e.res, e.snap)
 		})
 	}()
@@ -74,6 +81,10 @@ func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
 func (e *Engine) Step(n int) error {
 	if e.err != nil {
 		return e.err
+	}
+	if terr := e.trap.Err(); terr != nil {
+		e.err = terr
+		return terr
 	}
 	if e.done {
 		return fmt.Errorf("corestatic: Step after Finish")
@@ -95,7 +106,7 @@ func (e *Engine) Step(n int) error {
 		close(done)
 	}()
 	e.batch = done
-	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+	if err := awaitBatch(e.world, e.cfg.Watchdog, done, e.trap); err != nil {
 		e.err = err
 		return err
 	}
@@ -119,6 +130,10 @@ func (e *Engine) Snapshot() (*checkpoint.EngineState, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
+	if terr := e.trap.Err(); terr != nil {
+		e.err = terr
+		return nil, terr
+	}
 	if e.done {
 		return nil, fmt.Errorf("corestatic: Snapshot after Finish")
 	}
@@ -132,7 +147,7 @@ func (e *Engine) Snapshot() (*checkpoint.EngineState, error) {
 		}
 		close(done)
 	}()
-	if err := e.world.WatchSection(e.cfg.Watchdog, done); err != nil {
+	if err := awaitBatch(e.world, e.cfg.Watchdog, done, e.trap); err != nil {
 		e.err = err
 		return nil, err
 	}
@@ -172,6 +187,13 @@ func (e *Engine) Finish() (*Result, error) {
 }
 
 func (e *Engine) finish() (*Result, error) {
+	if terr := e.trap.Err(); terr != nil {
+		// A rank died: abandon the world outright (see core.Engine.finish).
+		if e.err == nil {
+			e.err = terr
+		}
+		return nil, e.err
+	}
 	watch := e.cfg.Watchdog
 	if e.err != nil {
 		watch = 10 * e.cfg.Watchdog

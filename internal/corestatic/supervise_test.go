@@ -1,0 +1,87 @@
+package corestatic
+
+import (
+	"errors"
+	"testing"
+
+	"permcell/internal/decomp"
+	"permcell/internal/supervise"
+)
+
+// TestSabotagePanicBecomesRankFailure mirrors the core engine's test: an
+// injected SPE panic surfaces from Step as a typed *supervise.RankFailure,
+// and Finish returns the same error without hanging.
+func TestSabotagePanicBecomesRankFailure(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.3, 11)
+	cfg := cfgFor(decomp.SquarePillar, 4, g)
+	cfg.Sabotage = &supervise.Sabotage{Kind: supervise.SabotagePanic, Step: 3, Rank: 1}
+
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Step(5)
+	var rf *supervise.RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("Step error = %v, want *supervise.RankFailure", err)
+	}
+	if rf.Rank != 1 {
+		t.Errorf("failed rank = %d, want 1", rf.Rank)
+	}
+	if _, ferr := eng.Finish(); !errors.As(ferr, &rf) {
+		t.Fatalf("Finish error = %v, want the rank failure", ferr)
+	}
+}
+
+// TestSabotageNaNTripsFiniteGuard: the static engine's guard pass must
+// catch an injected NaN at the same step's stats collection, before the
+// poisoned record lands.
+func TestSabotageNaNTripsFiniteGuard(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.3, 11)
+	cfg := cfgFor(decomp.SquarePillar, 4, g)
+	cfg.Guard = &supervise.GuardConfig{}
+	cfg.Sabotage = &supervise.Sabotage{Kind: supervise.SabotageNaN, Step: 3, Rank: 2}
+
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = eng.Step(5)
+	var gv *supervise.GuardViolation
+	if !errors.As(err, &gv) {
+		t.Fatalf("Step error = %v, want *supervise.GuardViolation", err)
+	}
+	if gv.Check != "finite" || gv.Step != 3 {
+		t.Errorf("violation = %+v, want finite check at step 3", gv)
+	}
+	for _, st := range eng.Stats() {
+		if st.Step >= 3 {
+			t.Fatalf("poisoned step %d leaked into stats", st.Step)
+		}
+	}
+}
+
+// TestGuardsAreTraceNeutral: guards observe without changing the physics.
+func TestGuardsAreTraceNeutral(t *testing.T) {
+	sys, g := testSystem(t, 4, 0.3, 11)
+	cfg := cfgFor(decomp.SquarePillar, 4, g)
+	plain, err := Run(cfg, sys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Guard = &supervise.GuardConfig{}
+	guarded, err := Run(cfg, sys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Stats) != len(guarded.Stats) {
+		t.Fatalf("stats length %d vs %d", len(plain.Stats), len(guarded.Stats))
+	}
+	for i := range plain.Stats {
+		a, b := plain.Stats[i], guarded.Stats[i]
+		if a.Step != b.Step || a.TotalEnergy != b.TotalEnergy ||
+			a.WorkMax != b.WorkMax || a.WorkAve != b.WorkAve {
+			t.Fatalf("step %d diverged under guards: %+v vs %+v", a.Step, a, b)
+		}
+	}
+}

@@ -324,6 +324,17 @@ func (jw *JSONLWriter) Write(rec StepRecord) error { return jw.enc.Encode(rec) }
 
 // ---- Prometheus exporter -----------------------------------------------
 
+// Recovery carries the self-healing supervisor's run totals (see
+// internal/supervise.Report) for export alongside the phase counters.
+type Recovery struct {
+	Panics          int64
+	GuardViolations int64
+	Deadlocks       int64
+	Rollbacks       int64
+	Retries         int64
+	StepsReplayed   int64
+}
+
 // Cumulative accumulates per-step breakdowns into run-total counters for
 // Prometheus text-format export.
 type Cumulative struct {
@@ -332,6 +343,9 @@ type Cumulative struct {
 	Secs         [NumPhases]float64
 	Msgs         [NumPhases]int64
 	Bytes        [NumPhases]int64
+	// Recovery, when non-nil, adds the supervisor's recovery counters to the
+	// exposition (drivers fill it from the supervision report).
+	Recovery *Recovery
 }
 
 // Add folds one finalized step breakdown and its PE-average wall time.
@@ -373,6 +387,23 @@ func (c *Cumulative) WritePrometheus(w io.Writer) error {
 	p("# TYPE permcell_phase_bytes_total counter\n")
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		p("permcell_phase_bytes_total{phase=%q} %d\n", ph.String(), c.Bytes[ph])
+	}
+	if r := c.Recovery; r != nil {
+		for _, m := range []struct {
+			name, help string
+			v          int64
+		}{
+			{"permcell_recovery_panics_total", "PE panics caught by the supervisor.", r.Panics},
+			{"permcell_recovery_guard_violations_total", "Physics-guard violations caught by the supervisor.", r.GuardViolations},
+			{"permcell_recovery_deadlocks_total", "Watchdog deadlocks caught by the supervisor.", r.Deadlocks},
+			{"permcell_recovery_rollbacks_total", "Checkpoint rollbacks performed by the supervisor.", r.Rollbacks},
+			{"permcell_recovery_retries_total", "Recovery attempts consumed from the retry budget.", r.Retries},
+			{"permcell_recovery_steps_replayed_total", "Steps re-executed during post-rollback replay.", r.StepsReplayed},
+		} {
+			p("# HELP %s %s\n", m.name, m.help)
+			p("# TYPE %s counter\n", m.name)
+			p("%s %d\n", m.name, m.v)
+		}
 	}
 	return err
 }

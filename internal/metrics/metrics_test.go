@@ -216,4 +216,25 @@ func TestCumulativePrometheus(t *testing.T) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)
 		}
 	}
+	// Recovery counters only appear when a supervisor report was attached.
+	if strings.Contains(out, "permcell_recovery_") {
+		t.Errorf("recovery counters present without a Recovery block:\n%s", out)
+	}
+	c.Recovery = &Recovery{Panics: 1, Rollbacks: 2, Retries: 2, StepsReplayed: 9}
+	buf.Reset()
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{
+		"permcell_recovery_panics_total 1\n",
+		"permcell_recovery_guard_violations_total 0\n",
+		"permcell_recovery_rollbacks_total 2\n",
+		"permcell_recovery_steps_replayed_total 9\n",
+		"# TYPE permcell_recovery_retries_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
 }

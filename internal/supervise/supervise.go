@@ -1,0 +1,296 @@
+// Package supervise is the failure taxonomy and recovery policy shared by
+// the self-healing run layer: the parallel engines (internal/core,
+// internal/corestatic) convert PE crashes and physics-guard violations into
+// the typed errors defined here, and the facade supervisor
+// (permcell.WithSupervisor) consumes them to decide when to roll back to a
+// checkpoint and retry. The package is a leaf — it imports only the
+// standard library — so both engines and the comm substrate can use its
+// types without import cycles.
+package supervise
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RankFailure reports that one PE goroutine panicked: the panic value,
+// the rank it happened on and the goroutine's stack at the point of
+// recovery. The process survives; the failed world is torn down and (under
+// a supervisor) rolled back to the latest valid checkpoint.
+type RankFailure struct {
+	// Rank is the PE whose goroutine panicked (-1 when the failure happened
+	// on the driver goroutine, e.g. in the serial engine).
+	Rank int
+	// Value is the rendered panic value.
+	Value string
+	// Stack is the failing goroutine's stack trace.
+	Stack string
+}
+
+func (e *RankFailure) Error() string {
+	return fmt.Sprintf("supervise: rank %d panicked: %s", e.Rank, e.Value)
+}
+
+// GuardViolation reports that the runtime physics-guard pass failed: the
+// state is numerically or physically invalid (non-finite coordinates,
+// particle-count loss, runaway energy drift). Violations are raised before
+// the offending step's statistics are emitted or checkpointed, so neither
+// the trace nor the checkpoint pair is poisoned by the bad state.
+type GuardViolation struct {
+	// Rank is the PE that detected the violation.
+	Rank int
+	// Step is the absolute time step the violation was detected at.
+	Step int
+	// Check names the failed guard: "finite", "conservation" or
+	// "energy-drift".
+	Check string
+	// Detail describes the violation.
+	Detail string
+}
+
+func (e *GuardViolation) Error() string {
+	return fmt.Sprintf("supervise: guard %q violated at step %d (rank %d): %s",
+		e.Check, e.Step, e.Rank, e.Detail)
+}
+
+// GuardConfig tunes the runtime physics guards evaluated at the stats
+// cadence. The zero value selects the defaults; Disabled turns the pass off
+// entirely.
+type GuardConfig struct {
+	// Disabled turns the guard pass off.
+	Disabled bool
+	// MaxEnergyDrift is the relative total-energy drift ceiling: the run
+	// fails when |E - E0| exceeds MaxEnergyDrift * max(1, |E0|), with E0 the
+	// first census after (re)start. 0 selects DefaultMaxEnergyDrift;
+	// negative disables the drift check only (finiteness and conservation
+	// stay on).
+	MaxEnergyDrift float64
+}
+
+// DefaultMaxEnergyDrift is the default relative energy-drift ceiling. It is
+// deliberately generous: the thermostatted condensation runs trade potential
+// for kinetic energy on purpose, while an integrator blow-up overshoots any
+// O(1) ceiling within a few steps.
+const DefaultMaxEnergyDrift = 5.0
+
+// Drift returns the configured drift ceiling (0 = drift check disabled).
+func (g GuardConfig) Drift() float64 {
+	if g.MaxEnergyDrift == 0 {
+		return DefaultMaxEnergyDrift
+	}
+	if g.MaxEnergyDrift < 0 {
+		return 0
+	}
+	return g.MaxEnergyDrift
+}
+
+// Policy configures the supervisor: how many recovery attempts a run gets,
+// how the backoff between them grows, which guards run, and an optional
+// event sink.
+type Policy struct {
+	// MaxRetries is the recovery budget: the number of rollback+resume
+	// attempts before the run degrades to a partial Result plus a
+	// *RetryBudgetError (0 = fail on the first failure).
+	MaxRetries int
+	// Backoff is the delay before the first retry (default 50ms). Each
+	// subsequent retry doubles it (BackoffFactor) up to MaxBackoff.
+	Backoff time.Duration
+	// BackoffFactor is the growth factor between retries (default 2).
+	BackoffFactor float64
+	// MaxBackoff caps the delay (default 5s).
+	MaxBackoff time.Duration
+	// Guard tunes the runtime physics guards.
+	Guard GuardConfig
+	// OnEvent, when non-nil, observes every supervision event as it
+	// happens (failure, rollback, resume, give-up).
+	OnEvent func(Event)
+}
+
+// BackoffFor returns the delay before retry attempt (1-based), growing
+// exponentially from Backoff and capped at MaxBackoff.
+func (p Policy) BackoffFor(attempt int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	factor := p.BackoffFactor
+	if factor < 1 {
+		factor = 2
+	}
+	limit := p.MaxBackoff
+	if limit <= 0 {
+		limit = 5 * time.Second
+	}
+	d := float64(base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if time.Duration(d) >= limit {
+			return limit
+		}
+	}
+	return min(time.Duration(d), limit)
+}
+
+// Event kinds recorded in Report.Events.
+const (
+	EventRankFailure    = "rank-failure"    // a PE goroutine panicked
+	EventGuardViolation = "guard-violation" // a physics guard fired
+	EventDeadlock       = "deadlock"        // the comm watchdog fired
+	EventRollback       = "rollback"        // state restored from a checkpoint
+	EventGiveUp         = "give-up"         // retry budget exhausted
+)
+
+// Event is one entry of the supervision log.
+type Event struct {
+	// Kind is one of the Event* constants.
+	Kind string
+	// Step is the absolute step the run was at when the event happened.
+	Step int
+	// Attempt is the retry attempt the event belongs to (0 = before any
+	// retry).
+	Attempt int
+	// Err is the rendered failure (failure and give-up events).
+	Err string
+	// Checkpoint is the file restored from (rollback events).
+	Checkpoint string
+	// RestoredStep is the absolute step of the restored checkpoint
+	// (rollback events).
+	RestoredStep int
+}
+
+// Report is the structured supervision outcome: the full event log plus
+// recovery counters. A healthy run that never failed has all-zero counters.
+type Report struct {
+	Events []Event
+	// Failure-class counters.
+	RankFailures, GuardViolations, Deadlocks int
+	// Recovery counters.
+	Rollbacks, Retries int
+	// StepsReplayed counts re-executed step records suppressed during
+	// replay (the work redone to get back to the failure point).
+	StepsReplayed int
+	// Exhausted is set when the retry budget ran out and the run degraded
+	// to a partial result.
+	Exhausted bool
+}
+
+// RetryBudgetError is returned when the retry budget is exhausted: the run
+// ends with whatever statistics were collected (a partial Result) and this
+// error carrying the last failure and the full report.
+type RetryBudgetError struct {
+	// Attempts is the number of recovery attempts consumed.
+	Attempts int
+	// Last is the failure that exhausted the budget.
+	Last error
+	// Report is the structured failure report.
+	Report *Report
+}
+
+func (e *RetryBudgetError) Error() string {
+	return fmt.Sprintf("supervise: retry budget exhausted after %d attempts (%d rollbacks, %d steps replayed): %v",
+		e.Attempts, e.Report.Rollbacks, e.Report.StepsReplayed, e.Last)
+}
+
+// Unwrap exposes the last failure to errors.As/Is.
+func (e *RetryBudgetError) Unwrap() error { return e.Last }
+
+// Trap collects panics recovered from PE goroutines. Every rank defers
+// Catch; the first failure closes Failed so drivers waiting on a batch can
+// react promptly instead of waiting out the watchdog.
+type Trap struct {
+	mu       sync.Mutex
+	failures []error
+	fired    chan struct{}
+	once     sync.Once
+}
+
+// NewTrap returns an armed trap.
+func NewTrap() *Trap {
+	return &Trap{fired: make(chan struct{})}
+}
+
+// Catch recovers a panic on the calling goroutine and records it as a typed
+// failure: a *GuardViolation panic value passes through as-is, anything
+// else becomes a *RankFailure with the goroutine's stack. Must be invoked
+// via defer. A nil recover is a no-op, so Catch is safe on the normal
+// return path.
+func (t *Trap) Catch(rank int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	var err error
+	switch v := r.(type) {
+	case *GuardViolation:
+		err = v
+	case *RankFailure:
+		err = v
+	default:
+		err = &RankFailure{Rank: rank, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+	}
+	t.mu.Lock()
+	t.failures = append(t.failures, err)
+	t.mu.Unlock()
+	t.once.Do(func() { close(t.fired) })
+}
+
+// Failed returns a channel closed on the first recorded failure.
+func (t *Trap) Failed() <-chan struct{} { return t.fired }
+
+// Err returns the first recorded failure (nil when none).
+func (t *Trap) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.failures) == 0 {
+		return nil
+	}
+	return t.failures[0]
+}
+
+// All returns a copy of every recorded failure.
+func (t *Trap) All() []error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]error(nil), t.failures...)
+}
+
+// Sabotage kinds.
+const (
+	// SabotagePanic crashes the target rank's goroutine at the target step.
+	SabotagePanic = "panic"
+	// SabotageNaN corrupts one velocity component on the target rank to NaN
+	// at the target step, exercising the finite guard.
+	SabotageNaN = "nan"
+)
+
+// Sabotage is a scripted one-shot fault for chaos-testing the recovery
+// path: it fires exactly once per process, on the first incarnation of the
+// engine that reaches (Step, Rank) — replays after a rollback see it
+// already spent, so a recovered run converges to the golden trace. The
+// same Sabotage pointer must be shared across engine incarnations (the
+// facade supervisor threads it through rollbacks automatically).
+type Sabotage struct {
+	// Kind is SabotagePanic or SabotageNaN.
+	Kind string
+	// Step is the absolute time step to fire at.
+	Step int
+	// Rank is the PE to fire on.
+	Rank int
+
+	spent atomic.Bool
+}
+
+// TryFire reports whether the sabotage fires now: true exactly once, when
+// step and rank match the script. Nil-safe.
+func (s *Sabotage) TryFire(step, rank int) bool {
+	if s == nil || step != s.Step || rank != s.Rank {
+		return false
+	}
+	return s.spent.CompareAndSwap(false, true)
+}
+
+// Fired reports whether the sabotage already went off.
+func (s *Sabotage) Fired() bool { return s != nil && s.spent.Load() }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"permcell/internal/comm"
+	"permcell/internal/supervise"
 )
 
 // FaultPlan re-exports the deterministic communication fault-injection
@@ -16,8 +17,39 @@ type FaultPlan = comm.FaultPlan
 type Stall = comm.Stall
 
 // DeadlockError is returned when the watchdog detects a communication
-// stall; it carries a per-rank state dump.
+// stall; it carries a per-rank state dump with goroutine stacks.
 type DeadlockError = comm.DeadlockError
+
+// Supervision types, re-exported from internal/supervise (see DESIGN.md
+// section 10 "Supervision and recovery").
+type (
+	// SupervisorPolicy configures WithSupervisor: retry budget, backoff
+	// growth, physics-guard tuning and an optional event sink.
+	SupervisorPolicy = supervise.Policy
+	// SupervisorReport is the structured supervision outcome: the event log
+	// plus failure and recovery counters.
+	SupervisorReport = supervise.Report
+	// SupervisorEvent is one entry of the supervision log.
+	SupervisorEvent = supervise.Event
+	// GuardConfig tunes the runtime physics guards.
+	GuardConfig = supervise.GuardConfig
+	// RankFailure is the typed error for a crashed PE goroutine.
+	RankFailure = supervise.RankFailure
+	// GuardViolation is the typed error for a failed physics guard.
+	GuardViolation = supervise.GuardViolation
+	// RetryBudgetError is returned when the supervisor's retry budget is
+	// exhausted; the run degrades to a partial Result alongside it.
+	RetryBudgetError = supervise.RetryBudgetError
+	// Sabotage scripts a one-shot injected fault for chaos-testing the
+	// recovery path (WithSabotage).
+	Sabotage = supervise.Sabotage
+)
+
+// Sabotage kinds.
+const (
+	SabotagePanic = supervise.SabotagePanic
+	SabotageNaN   = supervise.SabotageNaN
+)
 
 // Options collects the run parameters beyond the paper coordinates
 // (m, P, rho). Construct it only through Option values passed to New,
@@ -39,6 +71,12 @@ type Options struct {
 	watchdog   time.Duration
 	ckptEvery  int
 	ckptDir    string
+	supervisor *supervise.Policy
+	sabotage   *supervise.Sabotage
+	// guard is set internally by the supervisor when building inner
+	// engines (normalized from the policy's GuardConfig); there is no
+	// standalone option for it.
+	guard *supervise.GuardConfig
 }
 
 // Option mutates an Options.
@@ -118,6 +156,28 @@ func WithFaultPlan(plan FaultPlan) Option {
 // than d returns a *DeadlockError instead of hanging. Serial engines
 // ignore it.
 func WithWatchdog(d time.Duration) Option { return func(o *Options) { o.watchdog = d } }
+
+// WithSupervisor runs the engine under the self-healing supervisor: PE
+// panics, physics-guard violations and watchdog deadlocks roll the run back
+// to the latest valid checkpoint (falling back to the retained previous one
+// when the latest is suspect) and resume with exponential backoff, up to
+// p.MaxRetries attempts. When the budget is exhausted the run degrades to a
+// partial Result plus a *RetryBudgetError carrying the structured failure
+// report. Requires WithCheckpoint (the rollback targets); the supervisor
+// writes an anchor checkpoint at construction so a rollback target exists
+// before the first cadence boundary. Replayed steps are suppressed from
+// Stats and the OnStep stream, so a recovered run's trace is bit-identical
+// to the uninterrupted one's.
+func WithSupervisor(p SupervisorPolicy) Option {
+	return func(o *Options) { pp := p; o.supervisor = &pp }
+}
+
+// WithSabotage injects one scripted fault (a PE panic or a NaN velocity) at
+// an absolute (step, rank), for chaos-testing the supervisor's recovery
+// path. The Sabotage fires exactly once per process: replays after a
+// rollback see it spent, so a recovered run converges to the golden trace.
+// Serial engines ignore it.
+func WithSabotage(s *Sabotage) Option { return func(o *Options) { o.sabotage = s } }
 
 // WithCheckpoint writes a coordinated checkpoint into dir every `every`
 // time steps (counted in absolute simulation steps, so a restored run keeps

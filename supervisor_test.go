@@ -1,0 +1,329 @@
+package permcell
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"permcell/internal/checkpoint"
+	"permcell/internal/experiments"
+)
+
+// fastPolicy is the test supervision policy: a real retry budget with a
+// negligible backoff so recovery tests stay fast.
+func fastPolicy(retries int) SupervisorPolicy {
+	return SupervisorPolicy{MaxRetries: retries, Backoff: time.Millisecond}
+}
+
+// goldenTrace runs the given engine constructor uninterrupted and returns
+// its trace hash (the deterministic per-step fingerprint).
+func goldenTrace(t *testing.T, mk func(opts ...Option) (Engine, error), steps int) uint64 {
+	t.Helper()
+	eng, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(steps); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return experiments.TraceHash(res.Stats)
+}
+
+// TestSupervisorRecoversFromPanic is the tentpole acceptance test: an
+// injected PE panic mid-run must roll back to the latest checkpoint, resume,
+// and produce a final trace bit-identical to the uninterrupted golden run.
+func TestSupervisorRecoversFromPanic(t *testing.T) {
+	const steps = 24
+	mk := func(opts ...Option) (Engine, error) {
+		return New(2, 4, 0.3, append([]Option{WithDLB(), WithSeed(5)}, opts...)...)
+	}
+	golden := goldenTrace(t, mk, steps)
+
+	eng, err := mk(
+		WithCheckpoint(8, t.TempDir()),
+		WithSupervisor(fastPolicy(3)),
+		WithSabotage(&Sabotage{Kind: SabotagePanic, Step: 13, Rank: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(steps); err != nil {
+		t.Fatalf("supervised Step: %v", err)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := experiments.TraceHash(res.Stats); got != golden {
+		t.Fatalf("recovered trace hash %#x != golden %#x", got, golden)
+	}
+	rep := SupervisionReport(eng)
+	if rep == nil {
+		t.Fatal("SupervisionReport returned nil for a supervised engine")
+	}
+	if rep.RankFailures < 1 || rep.Rollbacks < 1 || rep.Retries < 1 {
+		t.Fatalf("report did not record the recovery: %+v", rep)
+	}
+	if rep.StepsReplayed == 0 {
+		t.Error("no replayed steps recorded (rollback should re-execute steps)")
+	}
+	if rep.Exhausted {
+		t.Error("budget marked exhausted on a recovered run")
+	}
+}
+
+// TestSupervisorRecoversFromNaN: an injected NaN velocity must trip the
+// finite guard before the poisoned step is emitted, then recover to the
+// golden trace exactly like the panic case.
+func TestSupervisorRecoversFromNaN(t *testing.T) {
+	const steps = 24
+	mk := func(opts ...Option) (Engine, error) {
+		return New(2, 4, 0.3, append([]Option{WithDLB(), WithSeed(5)}, opts...)...)
+	}
+	golden := goldenTrace(t, mk, steps)
+
+	eng, err := mk(
+		WithCheckpoint(8, t.TempDir()),
+		WithSupervisor(fastPolicy(3)),
+		WithSabotage(&Sabotage{Kind: SabotageNaN, Step: 13, Rank: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(steps); err != nil {
+		t.Fatalf("supervised Step: %v", err)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := experiments.TraceHash(res.Stats); got != golden {
+		t.Fatalf("recovered trace hash %#x != golden %#x", got, golden)
+	}
+	rep := SupervisionReport(eng)
+	if rep.GuardViolations < 1 || rep.Rollbacks < 1 {
+		t.Fatalf("report did not record the guard recovery: %+v", rep)
+	}
+}
+
+// TestSupervisorStaticEngine exercises the same recovery path through the
+// static-decomposition backend.
+func TestSupervisorStaticEngine(t *testing.T) {
+	const steps = 18
+	mk := func(opts ...Option) (Engine, error) {
+		return NewStatic(ShapeSquarePillar, 4, 4, 0.3, append([]Option{WithSeed(5)}, opts...)...)
+	}
+	golden := goldenTrace(t, mk, steps)
+
+	eng, err := mk(
+		WithCheckpoint(6, t.TempDir()),
+		WithSupervisor(fastPolicy(3)),
+		WithSabotage(&Sabotage{Kind: SabotagePanic, Step: 10, Rank: 3}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(steps); err != nil {
+		t.Fatalf("supervised Step: %v", err)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := experiments.TraceHash(res.Stats); got != golden {
+		t.Fatalf("recovered trace hash %#x != golden %#x", got, golden)
+	}
+	if rep := SupervisionReport(eng); rep.Rollbacks < 1 {
+		t.Fatalf("no rollback recorded: %+v", rep)
+	}
+}
+
+// TestSupervisorBudgetExhausted: with a zero retry budget the first failure
+// must degrade the run to a partial Result plus a *RetryBudgetError carrying
+// the structured report — never a process crash.
+func TestSupervisorBudgetExhausted(t *testing.T) {
+	eng, err := New(2, 4, 0.3, WithDLB(), WithSeed(5),
+		WithCheckpoint(8, t.TempDir()),
+		WithSupervisor(fastPolicy(0)),
+		WithSabotage(&Sabotage{Kind: SabotagePanic, Step: 13, Rank: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serr := eng.Step(24)
+	var rbe *RetryBudgetError
+	if !errors.As(serr, &rbe) {
+		t.Fatalf("Step error = %v, want *RetryBudgetError", serr)
+	}
+	if !rbe.Report.Exhausted || rbe.Report.RankFailures < 1 {
+		t.Fatalf("report incomplete: %+v", rbe.Report)
+	}
+	var rf *RankFailure
+	if !errors.As(serr, &rf) {
+		t.Fatalf("budget error does not unwrap to the rank failure: %v", serr)
+	}
+
+	res, rerr := eng.Result()
+	if !errors.As(rerr, &rbe) {
+		t.Fatalf("Result error = %v, want the budget error", rerr)
+	}
+	if res == nil {
+		t.Fatal("no partial Result on budget exhaustion")
+	}
+	if len(res.Stats) != 12 {
+		t.Fatalf("partial trace has %d steps, want the 12 completed before the step-13 failure", len(res.Stats))
+	}
+}
+
+// TestSupervisorFallsBackToPrevious: when the latest checkpoint is corrupt
+// at rollback time, the supervisor must restore the retained previous one
+// and still converge to the golden trace.
+func TestSupervisorFallsBackToPrevious(t *testing.T) {
+	const steps = 24
+	mk := func(opts ...Option) (Engine, error) {
+		return New(2, 4, 0.3, append([]Option{WithDLB(), WithSeed(5)}, opts...)...)
+	}
+	golden := goldenTrace(t, mk, steps)
+
+	dir := t.TempDir()
+	var restoredFrom []string
+	pol := fastPolicy(3)
+	pol.OnEvent = func(ev SupervisorEvent) {
+		if ev.Kind == "rollback" {
+			restoredFrom = append(restoredFrom, filepath.Base(ev.Checkpoint))
+		}
+	}
+	eng, err := mk(
+		WithCheckpoint(6, dir),
+		WithSupervisor(pol),
+		WithSabotage(&Sabotage{Kind: SabotagePanic, Step: 15, Rank: 0}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance past two cadence boundaries (checkpoints at 6 and 12), then
+	// corrupt latest.ckpt on disk before the step-15 sabotage fires.
+	if err := eng.Step(14); err != nil {
+		t.Fatal(err)
+	}
+	latest := filepath.Join(dir, checkpoint.LatestName)
+	raw, err := os.ReadFile(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(latest, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(steps - 14); err != nil {
+		t.Fatalf("supervised Step: %v", err)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := experiments.TraceHash(res.Stats); got != golden {
+		t.Fatalf("recovered trace hash %#x != golden %#x", got, golden)
+	}
+	if len(restoredFrom) == 0 || restoredFrom[0] != checkpoint.PreviousName {
+		t.Fatalf("rollback used %v, want %s first", restoredFrom, checkpoint.PreviousName)
+	}
+}
+
+// TestSupervisorRequiresCheckpointDir: supervision without a rollback target
+// is a configuration error, reported at construction.
+func TestSupervisorRequiresCheckpointDir(t *testing.T) {
+	if _, err := New(2, 4, 0.3, WithSupervisor(fastPolicy(1))); err == nil {
+		t.Fatal("WithSupervisor without WithCheckpoint accepted")
+	}
+	if SupervisionReport(nil) != nil {
+		t.Fatal("SupervisionReport(nil) != nil")
+	}
+}
+
+// TestRestoreUnderSupervisor: Restore composes with WithSupervisor — the
+// resumed run is supervised, recovers from failures, and its combined trace
+// matches the golden run.
+func TestRestoreUnderSupervisor(t *testing.T) {
+	const b = 8
+	mk := func(opts ...Option) (Engine, error) {
+		return New(2, 4, 0.3, append([]Option{WithDLB(), WithSeed(5)}, opts...)...)
+	}
+	golden := goldenTrace(t, mk, 2*b)
+
+	dir := t.TempDir()
+	first, err := mk(WithCheckpoint(b, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Step(b); err != nil {
+		t.Fatal(err)
+	}
+	fRes, err := first.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Restore(dir,
+		WithCheckpoint(b, dir),
+		WithSupervisor(fastPolicy(3)),
+		WithSabotage(&Sabotage{Kind: SabotagePanic, Step: b + 3, Rank: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Step(b); err != nil {
+		t.Fatalf("supervised resumed Step: %v", err)
+	}
+	rRes, err := resumed.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := append(append([]StepStats(nil), fRes.Stats...), rRes.Stats...)
+	if got := experiments.TraceHash(combined); got != golden {
+		t.Fatalf("combined trace hash %#x != golden %#x", got, golden)
+	}
+	if rep := SupervisionReport(resumed); rep.Rollbacks < 1 {
+		t.Fatalf("no rollback recorded on resumed run: %+v", rep)
+	}
+}
+
+// TestSupervisorHealthyRunIsTransparent: with no failures the supervised
+// trace, final state and report must be indistinguishable from an
+// unsupervised run (plus an all-zero report).
+func TestSupervisorHealthyRunIsTransparent(t *testing.T) {
+	const steps = 12
+	mk := func(opts ...Option) (Engine, error) {
+		return New(2, 4, 0.3, append([]Option{WithDLB(), WithSeed(5)}, opts...)...)
+	}
+	golden := goldenTrace(t, mk, steps)
+
+	eng, err := mk(WithCheckpoint(6, t.TempDir()), WithSupervisor(fastPolicy(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(steps); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := experiments.TraceHash(res.Stats); got != golden {
+		t.Fatalf("supervised healthy trace hash %#x != golden %#x", got, golden)
+	}
+	if res.Final == nil {
+		t.Fatal("healthy supervised run lost the final state")
+	}
+	rep := SupervisionReport(eng)
+	if rep.Rollbacks != 0 || rep.RankFailures != 0 || rep.GuardViolations != 0 ||
+		rep.Deadlocks != 0 || rep.Retries != 0 || len(rep.Events) != 0 {
+		t.Fatalf("healthy run has non-zero report: %+v", rep)
+	}
+}
