@@ -3,7 +3,9 @@
 // Usage:
 //
 //	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|phases|all [-scale tiny|small|full] [-seed N] [-csv]
-//	figures -bench-json BENCH_kernel.json [-bench-baseline BENCH_kernel.json] [-bench-tolerance 0.15]
+//	figures -bench-json BENCH_kernel.json [-bench-presets tiny,50k]
+//	        [-bench-baseline BENCH_kernel.json] [-bench-tolerance 0.15]
+//	        [-bench-assert-scaling] [-bench-scaling-min 1.1]
 //
 // Each id prints the same rows/series the paper reports (see DESIGN.md's
 // per-experiment index). Scales: tiny (seconds, CI), small (minutes,
@@ -13,10 +15,16 @@
 // the observability layer: per-phase time shares and the Fig. 5/7-style
 // imbalance curves for DDM vs DLB-DDM.
 //
-// With -bench-baseline, the freshly timed kernel results are compared
-// against the committed baseline and the command exits non-zero if any
-// configuration's ns/op regressed by more than -bench-tolerance (the CI
-// bench-regression gate).
+// -bench-json times the map and flat force kernels on the
+// internal/workload.KernelPresets matrix (restricted by -bench-presets)
+// and writes the schema-2 report. With -bench-baseline, the fresh results
+// are compared against the committed baseline and the command exits
+// non-zero if any matching configuration's ns/op regressed by more than
+// -bench-tolerance (the CI bench-regression gate; v1 baselines are
+// understood). With -bench-assert-scaling, the run additionally fails if
+// flat/shards=8 does not beat flat/shards=1 by -bench-scaling-min at
+// every timed preset of at least 50k particles — skipped with a note on
+// hosts with GOMAXPROCS < 4, where workers have no cores to scale onto.
 package main
 
 import (
@@ -32,13 +40,16 @@ func main() {
 	scale := flag.String("scale", "small", "preset scale: tiny, small, full")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered text (fig9, table1, phases)")
-	benchJSON := flag.String("bench-json", "", "time the force kernel and write BENCH_kernel.json to this path ('-' = stdout), then exit")
+	benchJSON := flag.String("bench-json", "", "time the force kernels and write BENCH_kernel.json to this path ('-' = stdout), then exit")
+	benchPresets := flag.String("bench-presets", "all", "comma-separated kernel preset names to time (tiny,50k,100k,200k), or 'all'")
 	benchBaseline := flag.String("bench-baseline", "", "compare the -bench-json results against this baseline report; exit 1 on regression")
 	benchTolerance := flag.Float64("bench-tolerance", 0.15, "relative ns/op regression allowed against -bench-baseline")
+	benchAssertScaling := flag.Bool("bench-assert-scaling", false, "fail unless flat/shards=8 beats flat/shards=1 at every timed preset >= 50k particles (skipped when GOMAXPROCS < 4)")
+	benchScalingMin := flag.Float64("bench-scaling-min", 1.1, "minimum shards=1/shards=8 ns/op ratio -bench-assert-scaling requires")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		rep, err := runBenchJSON(*benchJSON)
+		rep, err := runBenchJSON(*benchJSON, *benchPresets)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
 			os.Exit(1)
@@ -46,6 +57,12 @@ func main() {
 		if *benchBaseline != "" {
 			if err := compareBench(rep, *benchBaseline, *benchTolerance, os.Stderr); err != nil {
 				fmt.Fprintf(os.Stderr, "bench-baseline: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *benchAssertScaling {
+			if err := assertShardScaling(rep, 50000, *benchScalingMin, os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "bench-scaling: %v\n", err)
 				os.Exit(1)
 			}
 		}

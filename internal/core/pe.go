@@ -352,42 +352,69 @@ func (p *pe) dlbStep() {
 	p.tm.Stop(metrics.PhaseDLBDecide, td)
 
 	// Payload transfers: my moved column's particles leave; columns moved to
-	// me arrive.
+	// me arrive. Unlike migration (which runs before the forces it affects
+	// are computed), the DLB move happens before the first half kick — the
+	// kick that consumes the forces evaluated at the end of the previous
+	// step — so the payload must carry each particle's current force.
+	// Dropping it would kick transferred particles with zero force, which
+	// injects net momentum into the system on every move step (the
+	// momentum-conservation invariant test catches exactly this).
 	tt := p.tm.Start()
 	if d.Col >= 0 {
 		p.moved = 1
 		p.dirty = true
 		out := p.extractColumn(d.Col)
-		p.send(metrics.PhaseDLBTransfer, d.Dest, tagTransfer, out, int64(len(out))*48)
+		p.send(metrics.PhaseDLBTransfer, d.Dest, tagTransfer, out, int64(len(out.ps))*72)
 	}
 	for _, nb := range p.nbs {
 		nd := nbDecision[nb]
 		if nd.Col >= 0 && nd.Dest == p.c.Rank() {
 			p.dirty = true
-			in := p.c.Recv(nb, tagTransfer).([]particle.One)
-			for _, one := range in {
-				p.set.AddOne(one)
+			in := p.c.Recv(nb, tagTransfer).(colTransfer)
+			for k, one := range in.ps {
+				idx := p.set.AddOne(one)
+				p.set.Frc[idx] = in.frc[k]
 			}
 		}
 	}
 	p.tm.Stop(metrics.PhaseDLBTransfer, tt)
 }
 
+// colTransfer is the DLB column-move payload: the particles plus the
+// forces from the last evaluation, which the first half kick of the move
+// step still needs (particle.One deliberately omits forces — every other
+// transfer happens at points where they are about to be recomputed).
+type colTransfer struct {
+	ps  []particle.One
+	frc []vec.V
+}
+
 // extractColumn removes and returns (sorted by ID) the particles currently
-// in column col.
-func (p *pe) extractColumn(col int) []particle.One {
+// in column col, together with their last-step forces.
+func (p *pe) extractColumn(col int) colTransfer {
 	g := p.cfg.Grid
-	var out []particle.One
+	var out colTransfer
 	for i := 0; i < p.set.Len(); {
 		if g.ColumnOf(g.CellOf(p.set.Pos[i])) == col {
-			out = append(out, p.set.Extract(i))
+			out.ps = append(out.ps, p.set.Extract(i))
+			out.frc = append(out.frc, p.set.Frc[i])
 			p.set.RemoveSwap(i)
 			continue
 		}
 		i++
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	sort.Sort(byID(out))
 	return out
+}
+
+// byID sorts a colTransfer's parallel slices by particle ID.
+type byID colTransfer
+
+func (s byID) Len() int           { return len(s.ps) }
+func (s byID) Less(a, b int) bool { return s.ps[a].ID < s.ps[b].ID }
+func (s byID) Swap(a, b int) {
+	s.ps[a], s.ps[b] = s.ps[b], s.ps[a]
+	s.frc[a], s.frc[b] = s.frc[b], s.frc[a]
 }
 
 // migrate sends particles whose cell is hosted by another PE to that host.

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"testing"
 
 	"permcell/internal/potential"
@@ -80,3 +81,42 @@ func benchmarkKernelFlat(b *testing.B, shards int) {
 func BenchmarkKernelFlat(b *testing.B)        { benchmarkKernelFlat(b, 1) }
 func BenchmarkKernelFlatShards2(b *testing.B) { benchmarkKernelFlat(b, 2) }
 func BenchmarkKernelFlatShards8(b *testing.B) { benchmarkKernelFlat(b, 8) }
+
+// BenchmarkKernelPresets runs the full bench matrix (workload.KernelPresets:
+// tiny plus the 50k/100k/200k paper-density systems) against the flat
+// kernel at shard counts 1, 2 and 8. The large presets are where the force
+// array no longer fits in cache and shard parallelism has work to amortize
+// against; cmd/figures -bench-json times the same matrix into
+// BENCH_kernel.json, and the bench-regression CI gate asserts shard
+// scaling there on multi-core machines.
+func BenchmarkKernelPresets(b *testing.B) {
+	for _, pr := range workload.KernelPresets() {
+		sys, g, err := pr.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := make([]int, g.NumCells())
+		for c := range cells {
+			cells[c] = c
+		}
+		for _, shards := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", pr.Name, shards), func(b *testing.B) {
+				cl := NewCellLists(g, shards)
+				defer cl.Close()
+				cl.SetHosted(cells)
+				cl.SealGhosts()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if bad := cl.Bin(sys.Set.Pos); bad >= 0 {
+						b.Fatal("bin failed")
+					}
+					sys.Set.ZeroForces()
+					cl.Compute(ljBench, sys.Set)
+				}
+			})
+		}
+	}
+}
+
+var ljBench = potential.NewPaperLJ()

@@ -16,13 +16,22 @@ import (
 // performs zero heap allocations per step in steady state:
 //
 //   - a CSR cell list (Bin): hosted cells in ascending index order, each
-//     with the contiguous slice of its local particle indices;
-//   - a precomputed neighbor stencil per hosted cell (SetHosted): the
-//     Neighbors26 walk, with each neighbor resolved once to either a
-//     hosted-cell slot or a ghost-cell slot, rebuilt only when the hosted
-//     set changes (a DLB column move), not every step;
+//     with the contiguous slice of its local particle indices, plus the
+//     positions copied into part order (SoA for the inner loops);
+//   - a precomputed half stencil per hosted cell (SetHosted): the
+//     Neighbors26 walk with each neighbor resolved once to either a
+//     hosted-cell slot — kept only for the ~13 higher-id cells, so every
+//     hosted-hosted pair is computed exactly once and scattered to both
+//     particles (Newton's third law) — or a ghost-cell slot (one-sided),
+//     rebuilt only when the hosted set changes (a DLB column move), not
+//     every step;
 //   - a flat ghost arena (StageGhost/SealGhosts): all imported positions in
-//     one slice, CSR-indexed by ghost slot.
+//     one slice, CSR-indexed by ghost slot;
+//   - per-shard slot lists (CSR over the shard partition): each worker
+//     walks exactly its own cells instead of filtering the full hosted
+//     list every step, and the shard-local force buffers are zeroed and
+//     reduced inside the parallel section (fixed order, so bits do not
+//     depend on worker timing).
 //
 // Determinism contract: hosted cells are visited in ascending cell index
 // order and each cell's stencil preserves the Neighbors26 order, so for a
@@ -48,6 +57,8 @@ type CellLists struct {
 	stStart    []int32 // CSR offsets into stencil, len(cells)+1
 	ghostCells []int   // unhosted neighbor cell ids, ascending
 	shardOf    []int32 // per hosted slot: worker shard
+	shardSlot  []int32 // hosted slots grouped by shard (CSR), ascending per shard
+	shardStart []int32 // CSR offsets into shardSlot, len shards+1
 	nbBuf      []int   // Neighbors26 scratch
 	useShift   bool    // all grid dims >= 4: stShift is exact, skip per-pair rounding
 
@@ -63,18 +74,28 @@ type CellLists struct {
 	ghostPos   []vec.V
 
 	// Per-shard accumulators, reduced in fixed shard order.
-	pot []float64
-	vir []float64
-	prs []int64
-	frc [][]vec.V // used only when shards > 1
+	pot  []float64
+	vir  []float64
+	prs  []int64
+	ffrc [][]vec.V // shard-local force buffers, used only when shards > 1
 
 	// Bounded worker pool (started lazily, only when shards > 1).
-	pair potential.Pair // current Compute target
+	pair   potential.Pair // current Compute target
+	phase  int            // worker dispatch mode: phaseForce or phaseReduce
+	frcDst []vec.V        // reduce-phase target (s.Frc), set around dispatch
 
 	running bool
 	startCh []chan struct{}
 	doneCh  chan struct{}
 }
+
+// Worker dispatch phases. Both are set by Compute before the channel sends
+// that release the workers, so no atomics are needed (channel
+// happens-before).
+const (
+	phaseForce = iota
+	phaseReduce
+)
 
 type ghostStage struct {
 	slot int32
@@ -117,9 +138,7 @@ func NewCellLists(g space.Grid, shards int) *CellLists {
 	cl.pot = make([]float64, shards)
 	cl.vir = make([]float64, shards)
 	cl.prs = make([]int64, shards)
-	if shards > 1 {
-		cl.frc = make([][]vec.V, shards)
-	}
+	cl.ffrc = make([][]vec.V, shards)
 	return cl
 }
 
@@ -229,6 +248,24 @@ func (cl *CellLists) SetHosted(cells []int) {
 			cl.shardOf[i] = int32(rank % cl.shards)
 		}
 		cl.nbBuf = cols[:0]
+	}
+	// Flatten the partition into per-shard slot lists (CSR, slots ascending
+	// within a shard — the same visit order the shard test used to produce),
+	// so each worker walks only its own cells instead of filtering all of
+	// them every step.
+	cl.shardStart = append(cl.shardStart[:0], make([]int32, cl.shards+1)...)
+	for _, sh := range cl.shardOf {
+		cl.shardStart[sh+1]++
+	}
+	for sh := 0; sh < cl.shards; sh++ {
+		cl.shardStart[sh+1] += cl.shardStart[sh]
+	}
+	cl.shardSlot = append(cl.shardSlot[:0], make([]int32, len(cl.cells))...)
+	fill := make([]int32, cl.shards)
+	copy(fill, cl.shardStart[:cl.shards])
+	for slot, sh := range cl.shardOf {
+		cl.shardSlot[fill[sh]] = int32(slot)
+		fill[sh]++
 	}
 
 	// Size the per-step CSR heads for the new topology.
@@ -359,9 +396,15 @@ func (cl *CellLists) GhostLen() int { return len(cl.ghostPos) }
 // share of the potential energy, the pair virial sum(f*r2) (ghost pairs
 // contribute half, like the energy), and the number of pair-distance
 // evaluations (the deterministic work metric). Pairs between two hosted
-// cells use Newton's third law; pairs against ghost positions are
-// evaluated one-sided with the energy and virial split half/half between
-// the two hosts.
+// cells use Newton's third law over the half stencil (each pair computed
+// exactly once, the force scattered to both particles); pairs against
+// ghost positions are evaluated one-sided with the energy and virial split
+// half/half between the two hosts.
+//
+// With S > 1 shards each worker accumulates into a shard-local buffer;
+// the buffers are zeroed and reduced into s.Frc inside the parallel
+// section (fixed order: particles ascending, shards ascending per
+// particle), so the bits never depend on worker timing.
 func (cl *CellLists) Compute(pair potential.Pair, s *particle.Set) (potE, virial float64, pairs int64) {
 	cl.pair = pair
 	if cl.shards == 1 {
@@ -370,33 +413,27 @@ func (cl *CellLists) Compute(pair potential.Pair, s *particle.Set) (potE, virial
 		cl.pair = nil
 		return cl.pot[0], cl.vir[0], cl.prs[0]
 	}
+	n := len(s.Pos)
 	for sh := 0; sh < cl.shards; sh++ {
 		cl.pot[sh], cl.vir[sh], cl.prs[sh] = 0, 0, 0
-		if cap(cl.frc[sh]) < len(s.Pos) {
-			cl.frc[sh] = make([]vec.V, len(s.Pos))
+		if cap(cl.ffrc[sh]) < n {
+			cl.ffrc[sh] = make([]vec.V, n)
 		}
-		cl.frc[sh] = cl.frc[sh][:len(s.Pos)]
-		for i := range cl.frc[sh] {
-			cl.frc[sh][i] = vec.Zero
-		}
+		cl.ffrc[sh] = cl.ffrc[sh][:n]
 	}
+	// Two dispatch rounds: every worker clears its own buffer and runs the
+	// force pass over its cells, then — after the barrier — reduces a
+	// disjoint particle range across all shard buffers into s.Frc. Both
+	// the buffer zeroing and the O(shards*N) reduction run inside the
+	// parallel section, so the serial fraction of a sharded step is only
+	// the dispatch itself.
 	cl.ensurePool()
-	for sh := 0; sh < cl.shards; sh++ {
-		cl.startCh[sh] <- struct{}{}
-	}
-	for sh := 0; sh < cl.shards; sh++ {
-		<-cl.doneCh
-	}
-	// Fixed-order reduction: shard 0, 1, 2, ... for every particle and for
-	// the scalar accumulators, so the result is bit-reproducible for a
-	// given shard count.
-	for i := range s.Frc {
-		f := s.Frc[i]
-		for sh := 0; sh < cl.shards; sh++ {
-			f = f.Add(cl.frc[sh][i])
-		}
-		s.Frc[i] = f
-	}
+	cl.phase = phaseForce
+	cl.dispatch()
+	cl.frcDst = s.Frc
+	cl.phase = phaseReduce
+	cl.dispatch()
+	cl.frcDst = nil
 	for sh := 0; sh < cl.shards; sh++ {
 		potE += cl.pot[sh]
 		virial += cl.vir[sh]
@@ -406,8 +443,43 @@ func (cl *CellLists) Compute(pair potential.Pair, s *particle.Set) (potE, virial
 	return potE, virial, pairs
 }
 
+// dispatch releases every worker and waits for all of them to finish one
+// phase.
+func (cl *CellLists) dispatch() {
+	for sh := 0; sh < cl.shards; sh++ {
+		cl.startCh[sh] <- struct{}{}
+	}
+	for sh := 0; sh < cl.shards; sh++ {
+		<-cl.doneCh
+	}
+}
+
+// reduceRange folds the worker's share of particle indices across all
+// shard buffers into frcDst. Shard order is fixed (0, 1, 2, ...) for every
+// particle and the per-particle sums are independent, so the result is
+// bit-identical to a serial fixed-order reduction regardless of how the
+// index range is divided among workers.
+func (cl *CellLists) reduceRange(sh int) {
+	dst := cl.frcDst
+	n := len(dst)
+	lo := sh * n / cl.shards
+	hi := (sh + 1) * n / cl.shards
+	for i := lo; i < hi; i++ {
+		f := dst[i]
+		for s2 := 0; s2 < cl.shards; s2++ {
+			f = f.Add(cl.ffrc[s2][i])
+		}
+		dst[i] = f
+	}
+}
+
 // computeShard runs the kernel over the cells of one shard, accumulating
-// forces into frc and scalars into the shard's accumulator slots.
+// forces into frc (indexed by particle id: s.Frc directly for shards == 1,
+// the shard-local buffer otherwise) and scalars into the shard's
+// accumulator slots. The Lennard-Jones evaluation is devirtualized via the
+// concrete-type assertion so the compiler inlines it (manually hoisting its
+// parameters into locals measured slower here: the extra live values spill
+// in the inner loops); any other Pair goes through the interface call.
 func (cl *CellLists) computeShard(sh int, frc []vec.V) {
 	pair := cl.pair
 	lj, ljOK := pair.(*potential.LJ) // devirtualized (inlinable) hot call
@@ -416,21 +488,20 @@ func (cl *CellLists) computeShard(sh int, frc []vec.V) {
 	fast := cl.useShift
 	var potE, virial float64
 	var pairs int64
-	sharded := cl.shards > 1
-	for slot := range cl.cells {
-		if sharded && cl.shardOf[slot] != int32(sh) {
-			continue
-		}
+	for _, slot := range cl.shardSlot[cl.shardStart[sh]:cl.shardStart[sh+1]] {
 		lo, hi := cl.start[slot], cl.start[slot+1]
-		locals := cl.part[lo:hi]
+		if lo == hi {
+			continue // empty cell owns no pairs
+		}
 		lpos := cl.ppos[lo:hi]
+		locals := cl.part[lo:hi]
 		// Intra-cell pairs. With >= 4 cells per dimension the direct
 		// difference is the minimum image (round term exactly zero).
-		for a := 0; a < len(locals); a++ {
-			i := locals[a]
+		for a := 0; a < len(lpos); a++ {
 			pi := lpos[a]
+			i := locals[a]
 			fi := frc[i]
-			for b := a + 1; b < len(locals); b++ {
+			for b := a + 1; b < len(lpos); b++ {
 				pairs++
 				d := pi.Sub(lpos[b])
 				if !fast {
@@ -455,17 +526,23 @@ func (cl *CellLists) computeShard(sh int, frc []vec.V) {
 			}
 			frc[i] = fi
 		}
-		// Stencil neighbors, in Neighbors26 order.
+		// Half-stencil neighbors, in Neighbors26 order: hosted entries are
+		// the ~13 higher-id cells (pair owned here, force scattered to both
+		// sides), ghost entries are one-sided.
 		st := cl.stencil[cl.stStart[slot]:cl.stStart[slot+1]]
 		shf := cl.stShift[cl.stStart[slot]:cl.stStart[slot+1]]
 		for k, e := range st {
 			term := shf[k]
 			if e >= 0 {
 				olo, ohi := cl.start[e], cl.start[e+1]
-				others := cl.part[olo:ohi]
+				if olo == ohi {
+					continue // empty neighbor
+				}
 				opos := cl.ppos[olo:ohi]
-				for a, i := range locals {
+				others := cl.part[olo:ohi]
+				for a := range lpos {
 					pi := lpos[a]
+					i := locals[a]
 					fi := frc[i]
 					for b := range opos {
 						pairs++
@@ -499,8 +576,12 @@ func (cl *CellLists) computeShard(sh int, frc []vec.V) {
 			}
 			gs := int(-1 - e)
 			gpos := cl.ghostPos[cl.ghostStart[gs]:cl.ghostStart[gs+1]]
-			for a, i := range locals {
+			if len(gpos) == 0 {
+				continue // empty ghost cell
+			}
+			for a := range lpos {
 				pi := lpos[a]
+				i := locals[a]
 				fi := frc[i]
 				for b := range gpos {
 					pairs++
@@ -548,7 +629,13 @@ func (cl *CellLists) ensurePool() {
 		cl.startCh[sh] = ch
 		go func(sh int, ch chan struct{}) {
 			for range ch {
-				cl.computeShard(sh, cl.frc[sh])
+				if cl.phase == phaseForce {
+					ff := cl.ffrc[sh]
+					clear(ff)
+					cl.computeShard(sh, ff)
+				} else {
+					cl.reduceRange(sh)
+				}
 				cl.doneCh <- struct{}{}
 			}
 		}(sh, ch)

@@ -1,23 +1,19 @@
 package kernel
 
-// The historical map-based kernel, retained in test code only. It is the
-// reference the flat CellLists kernel is cross-checked against: for shard
-// count 1 the flat kernel must reproduce it bit for bit (same summation
-// order), which is what keeps the golden experiment traces stable across
-// the data-layout change.
+// mapPairForces is the historical map-based kernel the flat CellLists
+// kernel is cross-checked against; the implementation lives in
+// reference.go (exported as MapPairForces so cmd/figures can time it as
+// the "old kernel" bench column). For shard count 1 the flat kernel must
+// reproduce it bit for bit (same summation order), which is what keeps
+// the golden experiment traces stable across the data-layout change.
 
 import (
-	"sort"
-
 	"permcell/internal/particle"
 	"permcell/internal/potential"
 	"permcell/internal/space"
 	"permcell/internal/vec"
 )
 
-// mapPairForces is the pre-CellLists kernel: map-based cell lists rebuilt
-// and sorted on every call, ghost positions behind two map lookups per
-// neighbor.
 func mapPairForces(
 	g space.Grid,
 	pair potential.Pair,
@@ -26,75 +22,5 @@ func mapPairForces(
 	hosted map[int]bool,
 	ghost map[int][]vec.V,
 ) (potE float64, pairs int64) {
-	rc2 := pair.Cutoff() * pair.Cutoff()
-	box := g.Box
-
-	cells := make([]int, 0, len(cellMap))
-	for cell := range cellMap {
-		cells = append(cells, cell)
-	}
-	sort.Ints(cells)
-
-	var nbBuf []int
-	for _, cell := range cells {
-		locals := cellMap[cell]
-		// Intra-cell pairs.
-		for a := 0; a < len(locals); a++ {
-			i := locals[a]
-			for b := a + 1; b < len(locals); b++ {
-				j := locals[b]
-				pairs++
-				d := box.Displacement(s.Pos[i], s.Pos[j])
-				r2 := d.Norm2()
-				if r2 >= rc2 || r2 == 0 {
-					continue
-				}
-				en, f := pair.EnergyForce(r2)
-				potE += en
-				fv := d.Scale(f)
-				s.Frc[i] = s.Frc[i].Add(fv)
-				s.Frc[j] = s.Frc[j].Sub(fv)
-			}
-		}
-		nbBuf = g.Neighbors26(cell, nbBuf[:0])
-		for _, nc := range nbBuf {
-			if hosted[nc] {
-				if nc < cell {
-					continue // hosted-hosted pair handled from the lower cell
-				}
-				others := cellMap[nc]
-				for _, i := range locals {
-					for _, j := range others {
-						pairs++
-						d := box.Displacement(s.Pos[i], s.Pos[j])
-						r2 := d.Norm2()
-						if r2 >= rc2 || r2 == 0 {
-							continue
-						}
-						en, f := pair.EnergyForce(r2)
-						potE += en
-						fv := d.Scale(f)
-						s.Frc[i] = s.Frc[i].Add(fv)
-						s.Frc[j] = s.Frc[j].Sub(fv)
-					}
-				}
-				continue
-			}
-			gpos := ghost[nc]
-			for _, i := range locals {
-				for _, q := range gpos {
-					pairs++
-					d := box.Displacement(s.Pos[i], q)
-					r2 := d.Norm2()
-					if r2 >= rc2 || r2 == 0 {
-						continue
-					}
-					en, f := pair.EnergyForce(r2)
-					potE += en / 2
-					s.Frc[i] = s.Frc[i].Add(d.Scale(f))
-				}
-			}
-		}
-	}
-	return potE, pairs
+	return MapPairForces(g, pair, s, cellMap, hosted, ghost)
 }

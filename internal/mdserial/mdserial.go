@@ -1,10 +1,12 @@
 // Package mdserial is the serial reference molecular dynamics engine. It
 // implements exactly the numerical method of the paper's Section 3.2 —
-// cell lists rebuilt every step, all pair distances examined between a cell
-// and its 26 neighbors, the velocity form of the Verlet algorithm, and a
-// velocity-rescaling thermostat applied every RescaleEvery steps — without
-// any parallelism. The parallel engine in internal/core is validated against
-// this one.
+// cell lists rebuilt every step, each pair within a cell's 26-neighborhood
+// evaluated once via the kernel's half stencil with the force applied to
+// both particles (Newton's third law), the velocity form of the Verlet
+// algorithm, and a velocity-rescaling thermostat applied every
+// RescaleEvery steps — without cross-PE parallelism (intra-step force
+// sharding is available through Config.Shards). The parallel engine in
+// internal/core is validated against this one.
 package mdserial
 
 import (

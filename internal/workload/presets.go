@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+
+	"permcell/internal/space"
+)
+
+// KernelPreset is one geometry of the force-kernel benchmark matrix — the
+// single source of truth shared by the kernel package's benchmarks, the
+// cmd/figures -bench-json report (BENCH_kernel.json) and the bench
+// regression gate, so the committed baseline and the re-timed results
+// always describe the same systems.
+type KernelPreset struct {
+	// Name keys the preset in BENCH_kernel.json and on the -bench-presets
+	// flag.
+	Name string
+	// N is the particle count; Rho the reduced density. The cubic box edge
+	// follows as (N/Rho)^(1/3) and the grid is the finest with cell side
+	// >= the paper cut-off 2.5.
+	N   int
+	Rho float64
+	// NC is the expected cells per dimension, asserted at build time so a
+	// preset can never silently drift to a different grid.
+	NC int
+	// Tref is the Maxwell-Boltzmann velocity temperature of the lattice
+	// start (geometry-irrelevant, recorded for reproducibility).
+	Tref float64
+	// Seed feeds the velocity RNG.
+	Seed uint64
+}
+
+// KernelPresets returns the benchmark matrix, smallest first:
+//
+//   - tiny: the original acceptance-gate geometry (Tiny experiment preset,
+//     m=3: grid 6x6x6, N=1296 at rho=0.384) — kept bit-compatible with the
+//     historical BENCH_kernel.json baselines;
+//   - 50k/100k/200k: cubic boxes at the paper's headline density 0.256
+//     whose edge is an exact multiple of the cut-off 2.5, large enough
+//     that the force pass no longer fits in cache and intra-PE shard
+//     parallelism has real work to amortize against (the scaling
+//     acceptance gate runs at 50k and beyond).
+func KernelPresets() []KernelPreset {
+	return []KernelPreset{
+		{Name: "tiny", N: 1296, Rho: 0.384, NC: 6, Tref: 0.722, Seed: 1},
+		{Name: "50k", N: 55296, Rho: 0.256, NC: 24, Tref: 0.722, Seed: 1},
+		{Name: "100k", N: 108000, Rho: 0.256, NC: 30, Tref: 0.722, Seed: 1},
+		{Name: "200k", N: 219488, Rho: 0.256, NC: 38, Tref: 0.722, Seed: 1},
+	}
+}
+
+// KernelPresetByName returns the named preset or an error listing the
+// valid names.
+func KernelPresetByName(name string) (KernelPreset, error) {
+	var names []string
+	for _, pr := range KernelPresets() {
+		if pr.Name == name {
+			return pr, nil
+		}
+		names = append(names, pr.Name)
+	}
+	return KernelPreset{}, fmt.Errorf("workload: unknown kernel preset %q (have %v)", name, names)
+}
+
+// Build constructs the preset's lattice-gas system and its cell grid
+// (cutoff 2.5), asserting the expected grid dimensions.
+func (pr KernelPreset) Build() (System, space.Grid, error) {
+	sys, err := LatticeGas(pr.N, pr.Rho, pr.Tref, pr.Seed)
+	if err != nil {
+		return System{}, space.Grid{}, err
+	}
+	g, err := space.NewGrid(sys.Box, 2.5)
+	if err != nil {
+		return System{}, space.Grid{}, err
+	}
+	if g.Nx != pr.NC || g.Ny != pr.NC || g.Nz != pr.NC {
+		return System{}, space.Grid{}, fmt.Errorf(
+			"workload: preset %s built grid %dx%dx%d, want %d^3", pr.Name, g.Nx, g.Ny, g.Nz, pr.NC)
+	}
+	return sys, g, nil
+}
