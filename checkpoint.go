@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"permcell/internal/balance"
 	"permcell/internal/checkpoint"
 	"permcell/internal/core"
 	"permcell/internal/corestatic"
@@ -114,10 +115,15 @@ func (w *ckptWriter) save(step int, msgs, bytes int64, frames []checkpoint.Frame
 // and, should it fail its integrity checks, the retained previous one.
 //
 // The run identity — engine kind, paper coordinates, physics options, seed,
-// time step, shard count — travels inside the checkpoint and is restored
-// from it; options that would change the physics (WithSeed, WithDt,
-// WithShards, WithDLB, WithWells, WithHysteresis, WithStatsEvery) are
-// ignored. Runtime options (WithOnStep, WithDiscardStats, WithMetrics,
+// time step, shard count, balancer — travels inside the checkpoint and is
+// restored from it; options that would change the physics (WithSeed,
+// WithDt, WithShards, WithWells, WithHysteresis, WithStatsEvery) are
+// ignored. The balancer is checked rather than ignored: a caller that
+// explicitly requests one (WithBalancer, or the WithDLB sugar) must name
+// the same strategy the checkpoint was written under, otherwise Restore
+// refuses — resuming a trajectory under a different balancer would
+// silently change the continuation's physics. Runtime options (WithOnStep,
+// WithDiscardStats, WithMetrics,
 // WithFaultPlan, WithWatchdog, WithCheckpoint) apply normally, so a
 // restored run can keep checkpointing into the same directory. The restored
 // engine's subsequent trace is bit-identical to the uninterrupted run's:
@@ -149,13 +155,44 @@ func restoreOpts(path string, o Options) (Engine, error) {
 	return restoreState(meta, frames, o)
 }
 
+// metaBalancer decodes the balancer identity a checkpoint was written
+// under. Checkpoints predating the Balancer field carry only the DLB flag,
+// which identifies the permanent-cell scheme with the stored hysteresis.
+func metaBalancer(meta *checkpoint.Meta) (Balancer, error) {
+	if meta.Balancer != "" {
+		b, err := balance.Decode(meta.Balancer)
+		if err != nil {
+			return nil, fmt.Errorf("permcell: checkpoint balancer: %w", err)
+		}
+		return b, nil
+	}
+	if meta.DLB {
+		return PermanentCell(PermanentCellConfig{Hysteresis: meta.Hysteresis}), nil
+	}
+	return nil, nil
+}
+
 // restoreState rebuilds an engine from loaded checkpoint contents. The
 // supervisor calls it directly after vetting a specific file (so its
 // latest-vs-previous preference is not overridden by LoadDir's own
 // fallback).
 func restoreState(meta *checkpoint.Meta, frames []checkpoint.Frame, o Options) (Engine, error) {
-	// Physics options come from the file, not the caller (see doc comment).
-	o.dlb = meta.DLB
+	// Physics options come from the file, not the caller (see doc comment)
+	// — with one hard check: the balancer is part of the run identity, and
+	// resuming a trajectory under a different strategy would silently
+	// change the physics of the continuation. A caller that explicitly
+	// requested a balancer (WithBalancer or the WithDLB sugar) must match
+	// the file.
+	fileB, err := metaBalancer(meta)
+	if err != nil {
+		return nil, err
+	}
+	if o.balancer != nil && BalancerName(o.balancer) != BalancerName(fileB) {
+		return nil, fmt.Errorf("permcell: checkpoint was written under balancer %q; refusing to resume under %q (drop WithBalancer/WithDLB to resume, or restore a matching checkpoint)",
+			BalancerName(fileB), BalancerName(o.balancer))
+	}
+	o.balancer = fileB
+	o.dlb = fileB != nil
 	o.wells = meta.Wells
 	o.wellK = meta.WellK
 	o.hysteresis = meta.Hysteresis
@@ -199,7 +236,8 @@ func loadCheckpoint(path string) (*checkpoint.Meta, []checkpoint.Frame, error) {
 
 func restoreParallel(meta *checkpoint.Meta, st *checkpoint.EngineState, o Options) (Engine, error) {
 	spec := experiments.RunSpec{
-		M: meta.M, P: meta.P, Rho: meta.Rho, DLB: meta.DLB, Seed: meta.Seed, Dt: meta.Dt,
+		M: meta.M, P: meta.P, Rho: meta.Rho, DLB: o.dlb, Balancer: o.balancer,
+		Seed: meta.Seed, Dt: meta.Dt,
 		Wells: meta.Wells, WellK: meta.WellK, Hysteresis: meta.Hysteresis,
 		StatsEvery: o.statsEvery, Shards: meta.Shards, Metrics: o.metrics,
 	}

@@ -14,7 +14,7 @@ import (
 func sameTrace(a, b StepStats) bool {
 	return a.Step == b.Step &&
 		a.WorkMax == b.WorkMax && a.WorkAve == b.WorkAve && a.WorkMin == b.WorkMin &&
-		a.Moved == b.Moved &&
+		a.Moved == b.Moved && a.MovedBytes == b.MovedBytes && a.Balancer == b.Balancer &&
 		a.TotalEnergy == b.TotalEnergy && a.Temperature == b.Temperature &&
 		a.Conc == b.Conc
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"permcell/internal/experiments"
 	"permcell/internal/kernel"
 	"permcell/internal/potential"
 	"permcell/internal/workload"
@@ -22,7 +23,10 @@ const benchSchemaNote = "schema 2: one op = re-bin every particle + the complete
 	"('map') and the flat half-stencil kernel ('flat') at shard counts 1, 2 and 8, " +
 	"so old-vs-new and shard scaling are compared on identical systems. " +
 	"Shard counts above GOMAXPROCS cannot win wall-clock; judge shard scaling only " +
-	"where gomaxprocs allows it (the CI gate skips the scaling assertion otherwise)."
+	"where gomaxprocs allows it (the CI gate skips the scaling assertion otherwise). " +
+	"The balancers section records each load balancer's migration traffic (columns " +
+	"and bytes moved) on the tiny condensation workload; the counters derive from " +
+	"the deterministic work metric, so the baseline gate matches them exactly."
 
 // kernelBenchResult is one timed kernel configuration.
 type kernelBenchResult struct {
@@ -44,6 +48,19 @@ type kernelBenchPreset struct {
 	Results []kernelBenchResult `json:"results"`
 }
 
+// balancerBenchResult is one balancer's migration traffic over the tiny
+// condensation workload. The counters derive from the deterministic work
+// metric, so repeated runs reproduce them bit for bit — the regression gate
+// compares them exactly, catching any silent change in balancing behavior.
+type balancerBenchResult struct {
+	Name       string `json:"name"`
+	Steps      int    `json:"steps"`
+	Moved      int    `json:"moved"`
+	MovedBytes int64  `json:"moved_bytes"`
+	// MeanLoadRatio is informational (logged, not gated).
+	MeanLoadRatio float64 `json:"mean_load_ratio"`
+}
+
 // kernelBenchReport is the BENCH_kernel.json schema, version 2. The
 // legacy v1 fields stay as read-only compatibility: a v1 file is a
 // single tiny-preset report with Results at the top level, which
@@ -56,6 +73,9 @@ type kernelBenchReport struct {
 	GOMAXPROCS int                 `json:"gomaxprocs"`
 	NumCPU     int                 `json:"num_cpu,omitempty"`
 	Presets    []kernelBenchPreset `json:"presets,omitempty"`
+	// Balancers is the per-balancer migration-traffic section (absent in
+	// pre-balancer baselines; the gate then skips it with a note).
+	Balancers []balancerBenchResult `json:"balancers,omitempty"`
 
 	// v1 compatibility (decode only).
 	N       int                 `json:"n_particles,omitempty"`
@@ -172,6 +192,22 @@ func runBenchJSON(path, presets string) (*kernelBenchReport, error) {
 		rep.Presets = append(rep.Presets, rp)
 	}
 
+	// Migration-traffic section: one tiny condensation run per balancer,
+	// deterministic counters (seconds of wall time total).
+	cmp, err := experiments.Balancers(experiments.Tiny(), 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range cmp.Traces {
+		rep.Balancers = append(rep.Balancers, balancerBenchResult{
+			Name:          tr.Name,
+			Steps:         cmp.Epochs,
+			Moved:         tr.TotalMoved,
+			MovedBytes:    tr.TotalMovedBytes,
+			MeanLoadRatio: tr.MeanLoadRatio,
+		})
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return nil, err
@@ -247,10 +283,42 @@ func compareBench(fresh *kernelBenchReport, baselinePath string, tolerance float
 	for key := range old {
 		fmt.Fprintf(log, "bench-baseline: %s missing from fresh run\n", key)
 	}
+	regressions = append(regressions, compareBalancerTraffic(fresh, &base, log)...)
 	if len(regressions) > 0 {
 		return errors.New(strings.Join(regressions, "; "))
 	}
 	return nil
+}
+
+// compareBalancerTraffic gates the balancers section against the baseline.
+// The counters are deterministic, so any drift is a behavior change, not
+// noise: Moved/MovedBytes/Steps must match exactly. A baseline without the
+// section (pre-balancer) skips with a note.
+func compareBalancerTraffic(fresh, base *kernelBenchReport, log io.Writer) []string {
+	if len(base.Balancers) == 0 {
+		fmt.Fprintln(log, "bench-baseline: no balancers section in baseline, skipping traffic gate")
+		return nil
+	}
+	old := make(map[string]balancerBenchResult, len(base.Balancers))
+	for _, b := range base.Balancers {
+		old[b.Name] = b
+	}
+	var regressions []string
+	for _, r := range fresh.Balancers {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(log, "bench-baseline: balancer %s not in baseline, skipping\n", r.Name)
+			continue
+		}
+		fmt.Fprintf(log, "bench-baseline: balancer %-10s moved %d cols / %d bytes over %d steps (baseline %d/%d), load ratio %.4f\n",
+			r.Name, r.Moved, r.MovedBytes, r.Steps, b.Moved, b.MovedBytes, r.MeanLoadRatio)
+		if r.Moved != b.Moved || r.MovedBytes != b.MovedBytes || r.Steps != b.Steps {
+			regressions = append(regressions, fmt.Sprintf(
+				"balancer %s traffic drifted: moved %d->%d, bytes %d->%d, steps %d->%d (deterministic counters must match exactly)",
+				r.Name, b.Moved, r.Moved, b.MovedBytes, r.MovedBytes, b.Steps, r.Steps))
+		}
+	}
+	return regressions
 }
 
 // assertShardScaling enforces the sharding win on machines that can show

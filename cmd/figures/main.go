@@ -2,18 +2,23 @@
 //
 // Usage:
 //
-//	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|phases|all [-scale tiny|small|full] [-seed N] [-csv]
+//	figures -id fig5a|fig5b|fig6|fig9|fig10|table1|phases|balancers|all
+//	        [-scale tiny|small|full] [-seed N] [-csv]
 //	figures -bench-json BENCH_kernel.json [-bench-presets tiny,50k]
 //	        [-bench-baseline BENCH_kernel.json] [-bench-tolerance 0.15]
 //	        [-bench-assert-scaling] [-bench-scaling-min 1.1]
 //
 // Each id prints the same rows/series the paper reports (see DESIGN.md's
 // per-experiment index). Scales: tiny (seconds, CI), small (minutes,
-// default), full (paper sizes, hours). With -csv, fig9, table1 and phases
-// emit machine-readable CSV instead of the rendered text — the format the
-// golden regression tests in internal/experiments pin. The phases id runs
-// the observability layer: per-phase time shares and the Fig. 5/7-style
-// imbalance curves for DDM vs DLB-DDM.
+// default), full (paper sizes, hours). With -csv, fig9, table1, phases and
+// balancers emit machine-readable CSV instead of the rendered text — the
+// format the golden regression tests in internal/experiments pin. The
+// phases id runs the observability layer: per-phase time shares and the
+// Fig. 5/7-style imbalance curves for DDM vs DLB-DDM. The balancers id is
+// the cross-balancer comparison: static DDM, permanent-cell, SFC and
+// diffusive over the same condensation workload, with LoadRatio/Efficiency
+// traces, f(m,n) boundary positions and per-scheme migration traffic
+// (columns and bytes moved per DLB epoch).
 //
 // -bench-json times the map and flat force kernels on the
 // internal/workload.KernelPresets matrix (restricted by -bench-presets)
@@ -36,7 +41,7 @@ import (
 )
 
 func main() {
-	id := flag.String("id", "all", "experiment id: fig5a, fig5b, fig6, fig9, fig10, table1, phases, all")
+	id := flag.String("id", "all", "experiment id: fig5a, fig5b, fig6, fig9, fig10, table1, phases, balancers, all")
 	scale := flag.String("scale", "small", "preset scale: tiny, small, full")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered text (fig9, table1, phases)")
@@ -135,6 +140,15 @@ func main() {
 				return r.WriteCSV(os.Stdout)
 			}
 			return r.Render(os.Stdout)
+		case "balancers":
+			r, err := experiments.Balancers(pr, 0, *seed)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				return r.WriteCSV(os.Stdout)
+			}
+			return r.Render(os.Stdout)
 		default:
 			return fmt.Errorf("unknown experiment id %q", name)
 		}
@@ -142,7 +156,7 @@ func main() {
 
 	ids := []string{*id}
 	if *id == "all" {
-		ids = []string{"fig5a", "fig5b", "fig6", "fig9", "fig10", "table1", "phases"}
+		ids = []string{"fig5a", "fig5b", "fig6", "fig9", "fig10", "table1", "phases", "balancers"}
 	}
 	for _, name := range ids {
 		if !*csv {

@@ -5,12 +5,22 @@
 //
 // Usage:
 //
-//	mdrun [-m 3] [-p 16] [-rho 0.256] [-steps 600] [-dlb] [-wells 12]
+//	mdrun [-m 3] [-p 16] [-rho 0.256] [-steps 600] [-balancer permcell]
+//	      [-dlb] [-wells 12]
 //	      [-wellk 1.5] [-dt 0.005] [-hyst 0.1] [-seed 1] [-shards 1]
 //	      [-o out.csv] [-metrics phases.jsonl] [-prom metrics.prom]
 //	      [-checkpoint-every 500] [-checkpoint-dir ckpt] [-resume ckpt]
 //	      [-max-retries 3] [-backoff 50ms]
 //	      [-cpuprofile cpu.pprof] [-trace trace.out]
+//
+// -balancer selects the load-balancing strategy: "permcell" (the paper's
+// permanent-cell scheme), "sfc" (Morton-curve repartitioner), "diffusive"
+// (nearest-neighbor diffusion) or "none" (static DDM, the default).
+// Parameterized forms like "permcell(h=0.1)" or "sfc(h=0,moves=2)" are
+// accepted; a bare "permcell" folds in -hyst. -dlb remains as sugar for
+// "-balancer permcell". The CSV starts with a "# ..." run header recording
+// the balancer and run identity, and each row carries the columns and bytes
+// the balancer migrated that step.
 //
 // Rows stream as the simulation advances (the run is O(1) in memory), so a
 // long run can be watched with tail -f. Interrupting with Ctrl-C stops at
@@ -61,7 +71,8 @@ func main() {
 	p := flag.Int("p", 16, "PE count (perfect square)")
 	rho := flag.Float64("rho", 0.256, "reduced density")
 	steps := flag.Int("steps", 600, "time steps")
-	dlbOn := flag.Bool("dlb", false, "enable permanent-cell dynamic load balancing")
+	dlbOn := flag.Bool("dlb", false, "enable permanent-cell dynamic load balancing (sugar for -balancer permcell)")
+	balancerSpec := flag.String("balancer", "", `load balancer: permcell|sfc|diffusive|none, optionally parameterized, e.g. "sfc(h=0,moves=2)" (default none; -dlb implies permcell)`)
 	wells := flag.Int("wells", 12, "condensation driver attractor count (0 = pure physics)")
 	wellK := flag.Float64("wellk", 1.5, "attractor strength")
 	dt := flag.Float64("dt", 0.005, "time step (reduced units; paper uses 1e-4)")
@@ -87,6 +98,24 @@ func main() {
 	if *maxRetries >= 0 && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "mdrun: -max-retries requires -checkpoint-dir (the supervisor rolls back to checkpoints)")
 		os.Exit(1)
+	}
+
+	var bal permcell.Balancer
+	if *balancerSpec != "" {
+		b, berr := permcell.BalancerByName(*balancerSpec)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "mdrun:", berr)
+			os.Exit(1)
+		}
+		bal = b
+		// The bare form folds in -hyst, matching the -dlb sugar; a
+		// parameterized spec carries its own hysteresis.
+		if *balancerSpec == "permcell" {
+			bal = permcell.PermanentCell(permcell.PermanentCellConfig{Hysteresis: *hyst})
+		}
+	}
+	if bal == nil && *dlbOn {
+		bal = permcell.PermanentCell(permcell.PermanentCellConfig{Hysteresis: *hyst})
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -159,15 +188,33 @@ func main() {
 
 	header := []string{"step", "work_max", "work_ave", "work_min",
 		"wall_max", "wall_ave", "wall_min", "step_wall_max",
-		"moved", "energy", "temperature", "c0_over_c", "n_factor"}
-	fmt.Fprintln(w, strings.Join(header, ","))
+		"moved", "moved_bytes", "energy", "temperature", "c0_over_c", "n_factor"}
 
+	// The run header is written lazily at the first row so the recorded
+	// balancer is the one the engine actually runs under — on -resume the
+	// identity travels in the checkpoint, not the flags.
 	writeErr := error(nil)
+	headerDone := false
+	emitHeader := func(balancer string) {
+		if headerDone {
+			return
+		}
+		headerDone = true
+		if *resume != "" {
+			fmt.Fprintf(w, "# mdrun resume=%s seed=%d shards=%d balancer=%s\n",
+				*resume, *seed, *shards, balancer)
+		} else {
+			fmt.Fprintf(w, "# mdrun m=%d p=%d rho=%g seed=%d dt=%g shards=%d balancer=%s\n",
+				*m, *p, *rho, *seed, *dt, *shards, balancer)
+		}
+		fmt.Fprintln(w, strings.Join(header, ","))
+	}
 	row := func(st permcell.StepStats) {
+		emitHeader(st.Balancer)
 		vals := []float64{
 			float64(st.Step), st.WorkMax, st.WorkAve, st.WorkMin,
 			st.WallMax, st.WallAve, st.WallMin, st.StepWallMax,
-			float64(st.Moved), st.TotalEnergy, st.Temperature,
+			float64(st.Moved), float64(st.MovedBytes), st.TotalEnergy, st.Temperature,
 			st.Conc.C0OverC, st.Conc.NFactor,
 		}
 		parts := make([]string, len(vals))
@@ -184,7 +231,8 @@ func main() {
 			rec := metrics.NewStepRecord(st.Step, st.Phases,
 				st.StepWallMax, st.StepWallAve,
 				st.WorkMax, st.WorkAve, st.WorkMin,
-				st.Moved, st.Conc.C0OverC, st.Conc.NFactor, *m)
+				st.Balancer, st.Moved, st.MovedBytes,
+				st.Conc.C0OverC, st.Conc.NFactor, *m)
 			if err := jsonl.Write(rec); err != nil && writeErr == nil {
 				writeErr = err
 			}
@@ -201,8 +249,8 @@ func main() {
 		permcell.WithShards(*shards),
 		permcell.WithOnStep(row), permcell.WithDiscardStats(),
 	}
-	if *dlbOn {
-		opts = append(opts, permcell.WithDLB())
+	if bal != nil {
+		opts = append(opts, permcell.WithBalancer(bal))
 	}
 	if collect {
 		opts = append(opts, permcell.WithMetrics())
@@ -243,6 +291,9 @@ func main() {
 	}
 
 	res, err := drive(ctx, eng, *steps, *ckptDir != "")
+	// A zero-row run (steps=0, or stats thinned past the horizon) still gets
+	// a well-formed CSV: header from the flag-derived identity.
+	emitHeader(permcell.BalancerSpec(bal))
 	if rep := permcell.SupervisionReport(eng); rep != nil {
 		if len(rep.Events) > 0 {
 			fmt.Fprintf(os.Stderr, "mdrun: supervisor: %d rollbacks, %d retries, %d steps replayed (panics=%d guards=%d deadlocks=%d exhausted=%v)\n",
@@ -289,8 +340,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdrun:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "mdrun: N=%d dlb=%v shards=%d msgs=%d bytes=%d\n",
-		res.Final.Len(), *dlbOn, *shards, res.CommMsgs, res.CommBytes)
+	fmt.Fprintf(os.Stderr, "mdrun: N=%d balancer=%s shards=%d msgs=%d bytes=%d\n",
+		res.Final.Len(), permcell.BalancerSpec(bal), *shards, res.CommMsgs, res.CommBytes)
 }
 
 // drive mirrors permcell.RunEngine, adding one behavior: on cancellation it

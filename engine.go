@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"permcell/internal/balance"
 	"permcell/internal/checkpoint"
 	"permcell/internal/conc"
 	"permcell/internal/core"
@@ -67,7 +68,7 @@ func New(m, p int, rho float64, opts ...Option) (Engine, error) {
 // supervisor rebuilds engines through it across rollbacks).
 func newParallel(m, p int, rho float64, o Options) (Engine, error) {
 	spec := experiments.RunSpec{
-		M: m, P: p, Rho: rho, DLB: o.dlb, Seed: o.seed, Dt: o.dt,
+		M: m, P: p, Rho: rho, DLB: o.dlb, Balancer: o.balancer, Seed: o.seed, Dt: o.dt,
 		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
 		StatsEvery: o.statsEvery, Shards: o.shards, Metrics: o.metrics,
 	}
@@ -87,7 +88,8 @@ func newParallel(m, p int, rho float64, o Options) (Engine, error) {
 	}
 	meta := checkpoint.Meta{
 		Kind: checkpoint.KindDLB, M: m, P: p, Rho: rho,
-		DLB: o.dlb, Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
+		DLB: o.dlb, Balancer: balance.Encode(o.balancer),
+		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
 		Seed: o.seed, Dt: o.dtOrDefault(), Shards: o.shards, StatsEvery: o.statsEvery,
 	}
 	return &parallelEngine{eng: eng, ckpt: newCkptWriter(o, meta)}, nil

@@ -1,0 +1,163 @@
+package balance
+
+import (
+	"sort"
+
+	"permcell/internal/dlb"
+	"permcell/internal/topology"
+)
+
+// Diffusive is a nearest-neighbor diffusion balancer in the DIFF idiom of
+// Eibl & Rüde: each epoch a PE compares its load against its 8 torus
+// neighbors only and sheds load down the steepest cost gradients — the
+// demanded flow toward a slower neighbor is half the pairwise load gap,
+// the first-order diffusion step that would equalize the pair. The flow is
+// realized with legal permanent-cell moves (lend an own movable at-home
+// column up-left, return a borrowed column down-right to its owner;
+// anti-diagonal neighbors have no legal move and absorb nothing), choosing
+// the hosted column whose load best matches the demanded flow. Each move
+// must strictly lower the pairwise load maximum, so diffusion cannot
+// overshoot into ping-ponging.
+type Diffusive struct {
+	// Hysteresis is the relative load gap a neighbor must trail this PE by
+	// before any flow is demanded toward it (0 = any gradient).
+	Hysteresis float64
+	// Moves bounds the columns shed per PE per epoch (0 = default 1).
+	Moves int
+}
+
+// Name implements Balancer.
+func (Diffusive) Name() string { return "diffusive" }
+
+// Scope implements Balancer: diffusion is strictly nearest-neighbor.
+func (Diffusive) Scope() Scope { return ScopeNeighbors }
+
+// MaxMoves implements Balancer.
+func (b Diffusive) MaxMoves() int {
+	if b.Moves > 0 {
+		return b.Moves
+	}
+	return 1
+}
+
+// Validate implements Balancer.
+func (b Diffusive) Validate(dlb.Layout) error {
+	return validateCommon("diffusive", b.Hysteresis, b.Moves)
+}
+
+// NewDecider implements Balancer.
+func (b Diffusive) NewDecider(l dlb.Layout, rank int) Decider {
+	return &diffusiveDecider{cfg: b, l: l, rank: rank}
+}
+
+type diffusiveDecider struct {
+	cfg  Diffusive
+	l    dlb.Layout
+	rank int
+}
+
+// Decide implements Decider.
+func (d *diffusiveDecider) Decide(lg *dlb.Ledger, obs Observation) []dlb.Decision {
+	// Demanded outflows, steepest gradient first (offset index breaks ties
+	// deterministically).
+	type flow struct {
+		k      int // Offsets8 index
+		dest   int
+		demand float64 // load units this neighbor should absorb
+	}
+	pi, pj := d.l.T.Coords(d.rank)
+	var flows []flow
+	for k, off := range topology.Offsets8 {
+		nb := obs.Neighbor[k]
+		if obs.Self <= nb*(1+d.cfg.Hysteresis) {
+			continue
+		}
+		flows = append(flows, flow{
+			k:      k,
+			dest:   d.l.T.Rank(pi+off.DI, pj+off.DJ),
+			demand: (obs.Self - nb) / 2,
+		})
+	}
+	sort.Slice(flows, func(a, b int) bool {
+		if flows[a].demand != flows[b].demand {
+			return flows[a].demand > flows[b].demand
+		}
+		return flows[a].k < flows[b].k
+	})
+
+	// Column loads are particle counts; a column's PE-load share is
+	// estimated proportionally so flows and column weights share units.
+	var myColSum float64
+	for _, col := range lg.HostedColumns() {
+		myColSum += obs.ColLoad(col)
+	}
+	colWeight := func(col int) float64 {
+		if myColSum <= 0 {
+			return 0
+		}
+		return obs.Self * obs.ColLoad(col) / myColSum
+	}
+
+	self := obs.Self
+	sent := make(map[int]float64) // Offsets8 index -> load already shed
+	used := make(map[int]bool)    // columns already committed this epoch
+	var out []dlb.Decision
+	for _, f := range flows {
+		if len(out) >= d.cfg.MaxMoves() {
+			break
+		}
+		// Legal candidates toward this neighbor.
+		var cands []int
+		off := topology.Offsets8[f.k]
+		switch {
+		case offsetIn(topology.UpLeft, off):
+			cands = lg.OwnMovableAtHome()
+		case offsetIn(topology.DownRight, off):
+			cands = lg.BorrowedFrom(f.dest)
+		default: // anti-diagonal: no legal move
+			continue
+		}
+		// Best fill: the heaviest column not exceeding the remaining
+		// demand; else the lightest available, if it still improves the
+		// pairwise max.
+		nbLoad := obs.Neighbor[f.k] + sent[f.k]
+		demand := (self - nbLoad) / 2
+		best, bestW := -1, 0.0
+		light, lightW := -1, 0.0
+		for _, col := range cands {
+			if used[col] {
+				continue
+			}
+			w := colWeight(col)
+			if w <= demand && (best < 0 || w > bestW || (w == bestW && col < best)) {
+				best, bestW = col, w
+			}
+			if light < 0 || w < lightW || (w == lightW && col < light) {
+				light, lightW = col, w
+			}
+		}
+		if best < 0 {
+			best, bestW = light, lightW
+		}
+		if best < 0 {
+			continue
+		}
+		if bestW <= 0 || nbLoad+bestW >= self {
+			continue // would not lower the pairwise max
+		}
+		out = append(out, dlb.Decision{Col: best, Dest: f.dest})
+		used[best] = true
+		sent[f.k] += bestW
+		self -= bestW
+	}
+	return out
+}
+
+func offsetIn(set []topology.Offset, o topology.Offset) bool {
+	for _, s := range set {
+		if s == o {
+			return true
+		}
+	}
+	return false
+}

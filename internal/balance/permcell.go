@@ -1,0 +1,72 @@
+package balance
+
+import (
+	"fmt"
+
+	"permcell/internal/dlb"
+)
+
+func errUnknownPick(p dlb.Strategy) error {
+	return fmt.Errorf("balance: permcell: unknown pick strategy %d", p)
+}
+
+// PermanentCell is the reference Balancer: the paper's permanent-cell
+// protocol (Section 2.3). Each epoch the PE compares its load against the 8
+// neighbors and, when it is the slowest of the neighborhood by more than
+// Hysteresis, hands one column toward the fastest neighbor following the
+// three-case rule — exactly dlb.Ledger.Decide. The engine's pre-interface
+// WithDLB path is this balancer with the default Pick, so traces are
+// bit-identical across the refactor.
+type PermanentCell struct {
+	// Hysteresis is the relative load gap required before a column moves
+	// (0 = paper-literal).
+	Hysteresis float64
+	// Pick selects among candidate columns (default PickMostLoaded).
+	Pick dlb.Strategy
+}
+
+// Name implements Balancer.
+func (PermanentCell) Name() string { return "permcell" }
+
+// Scope implements Balancer: the protocol is strictly 8-neighbor.
+func (PermanentCell) Scope() Scope { return ScopeNeighbors }
+
+// MaxMoves implements Balancer: the paper's protocol moves at most one
+// column per PE per epoch.
+func (PermanentCell) MaxMoves() int { return 1 }
+
+// Validate implements Balancer.
+func (b PermanentCell) Validate(dlb.Layout) error {
+	if err := validateCommon("permcell", b.Hysteresis, 0); err != nil {
+		return err
+	}
+	switch b.Pick {
+	case dlb.PickMostLoaded, dlb.PickLeastLoaded, dlb.PickLowestIndex:
+		return nil
+	default:
+		return errUnknownPick(b.Pick)
+	}
+}
+
+// NewDecider implements Balancer.
+func (b PermanentCell) NewDecider(l dlb.Layout, rank int) Decider {
+	return permcellDecider{cfg: b}
+}
+
+type permcellDecider struct {
+	cfg PermanentCell
+}
+
+// Decide runs protocol steps 2-3 via the ledger and wraps the single
+// decision (or none) in the interface's slice shape.
+func (d permcellDecider) Decide(lg *dlb.Ledger, obs Observation) []dlb.Decision {
+	dec := lg.Decide(dlb.Loads{Self: obs.Self, Neighbor: obs.Neighbor}, dlb.Config{
+		Hysteresis: d.cfg.Hysteresis,
+		Pick:       d.cfg.Pick,
+		ColLoad:    obs.ColLoad,
+	})
+	if dec.Col < 0 {
+		return nil
+	}
+	return []dlb.Decision{dec}
+}

@@ -1,0 +1,249 @@
+package balance
+
+import (
+	"fmt"
+	"sort"
+
+	"permcell/internal/dlb"
+)
+
+// SFC is a space-filling-curve repartitioner in the style of Stijnman &
+// Bisseling: the permanent-cell columns are linearized in Morton (Z-curve)
+// order over their (cx, cy) cross-section coordinates, the PEs are laid
+// along the same curve, and each epoch the curve is cut into P segments of
+// near-equal load (the cut between two columns is adjusted to the boundary
+// closest to the ideal k/P load split — the ORB-style bisection
+// refinement). A PE then tries to move every hosted column whose ideal
+// segment lies elsewhere toward its ideal host.
+//
+// The moves are constrained to the permanent-cell legal move space (lend
+// own movable at-home columns up-left, return borrowed columns to their
+// owner), so the 8-neighbor exchange pattern survives; an ideal host
+// outside that space simply cannot be served this epoch. Each move must
+// strictly improve the pairwise load maximum between source and
+// destination, which keeps the repartitioner from oscillating when the
+// cuts dither between epochs.
+type SFC struct {
+	// Hysteresis is the relative load surplus this PE must have over a
+	// move's destination before the move fires (0 = any improvement).
+	Hysteresis float64
+	// Moves bounds the columns shed per PE per epoch (0 = default 1).
+	Moves int
+}
+
+// Name implements Balancer.
+func (SFC) Name() string { return "sfc" }
+
+// Scope implements Balancer: cutting the curve needs the global column
+// census and every PE's load.
+func (SFC) Scope() Scope { return ScopeGlobal }
+
+// MaxMoves implements Balancer.
+func (b SFC) MaxMoves() int {
+	if b.Moves > 0 {
+		return b.Moves
+	}
+	return 1
+}
+
+// Validate implements Balancer.
+func (b SFC) Validate(l dlb.Layout) error {
+	if err := validateCommon("sfc", b.Hysteresis, b.Moves); err != nil {
+		return err
+	}
+	if n := l.NxColumns(); n > 1<<15 {
+		return fmt.Errorf("balance: sfc: grid side %d overflows the Morton key", n)
+	}
+	return nil
+}
+
+// NewDecider implements Balancer: precompute the static curve (column
+// order, position index, PE order along the curve).
+func (b SFC) NewDecider(l dlb.Layout, rank int) Decider {
+	n := l.NumColumns()
+	d := &sfcDecider{cfg: b, l: l, rank: rank,
+		order:  make([]int, n),
+		pos:    make([]int, n),
+		prefix: make([]float64, n+1),
+	}
+	for col := 0; col < n; col++ {
+		d.order[col] = col
+	}
+	sort.Slice(d.order, func(a, b int) bool {
+		ka, kb := mortonKeyOf(l, d.order[a]), mortonKeyOf(l, d.order[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return d.order[a] < d.order[b]
+	})
+	for i, col := range d.order {
+		d.pos[col] = i
+	}
+	// PEs along the same curve: rank order by Morton key of torus coords.
+	d.segRank = make([]int, l.P())
+	for r := range d.segRank {
+		d.segRank[r] = r
+	}
+	sort.Slice(d.segRank, func(a, b int) bool {
+		ia, ja := l.T.Coords(d.segRank[a])
+		ib, jb := l.T.Coords(d.segRank[b])
+		ka, kb := morton2(ia, ja), morton2(ib, jb)
+		if ka != kb {
+			return ka < kb
+		}
+		return d.segRank[a] < d.segRank[b]
+	})
+	return d
+}
+
+// mortonKeyOf returns the Z-curve key of a column's cross-section
+// coordinates.
+func mortonKeyOf(l dlb.Layout, col int) uint64 {
+	cx, cy := l.ColumnCoords(col)
+	return morton2(cx, cy)
+}
+
+// morton2 interleaves the low 16 bits of x and y (x in even positions).
+func morton2(x, y int) uint64 {
+	return spread1(uint64(uint16(x))) | spread1(uint64(uint16(y)))<<1
+}
+
+// spread1 spaces out the low 16 bits of v into the even bit positions.
+func spread1(v uint64) uint64 {
+	v = (v | v<<16) & 0x0000_FFFF_0000_FFFF
+	v = (v | v<<8) & 0x00FF_00FF_00FF_00FF
+	v = (v | v<<4) & 0x0F0F_0F0F_0F0F_0F0F
+	v = (v | v<<2) & 0x3333_3333_3333_3333
+	v = (v | v<<1) & 0x5555_5555_5555_5555
+	return v
+}
+
+type sfcDecider struct {
+	cfg  SFC
+	l    dlb.Layout
+	rank int
+
+	order   []int // columns in Morton order
+	pos     []int // column -> index in order
+	segRank []int // segment k -> rank hosting it (ranks in Morton order)
+
+	prefix []float64 // scratch: prefix[i] = load of order[:i]
+	cuts   []int     // scratch: cuts[k] = first order index of segment k
+}
+
+// cutCurve computes this epoch's P load-balanced cuts of the curve.
+func (d *sfcDecider) cutCurve(colLoad func(int) float64) {
+	n := len(d.order)
+	p := d.l.P()
+	if d.cuts == nil {
+		d.cuts = make([]int, p+1)
+	}
+	for i, col := range d.order {
+		d.prefix[i+1] = d.prefix[i] + colLoad(col)
+	}
+	total := d.prefix[n]
+	d.cuts[0], d.cuts[p] = 0, n
+	for k := 1; k < p; k++ {
+		if total <= 0 {
+			// Degenerate (empty) epoch: fall back to equal column counts.
+			d.cuts[k] = k * n / p
+			continue
+		}
+		target := total * float64(k) / float64(p)
+		// The naive cut is the first boundary at or past the target; the
+		// ORB-style adjustment picks whichever adjacent boundary splits
+		// the load closer to the ideal.
+		i := sort.Search(n+1, func(i int) bool { return d.prefix[i] >= target })
+		if i > 0 && target-d.prefix[i-1] <= d.prefix[i]-target {
+			i--
+		}
+		d.cuts[k] = i
+	}
+	for k := 1; k <= p; k++ {
+		if d.cuts[k] < d.cuts[k-1] {
+			d.cuts[k] = d.cuts[k-1]
+		}
+	}
+}
+
+// idealRank returns the rank the current cuts assign col to.
+func (d *sfcDecider) idealRank(col int) int {
+	i := d.pos[col]
+	// Segment k spans order[cuts[k]:cuts[k+1]).
+	k := sort.Search(d.l.P(), func(k int) bool { return d.cuts[k+1] > i })
+	return d.segRank[k]
+}
+
+// Decide implements Decider.
+func (d *sfcDecider) Decide(lg *dlb.Ledger, obs Observation) []dlb.Decision {
+	d.cutCurve(obs.ColLoad)
+
+	// Candidate moves: hosted columns whose ideal segment is another PE and
+	// for which a legal move toward it exists.
+	type cand struct {
+		col, dest int
+		w         float64 // column load (particle count)
+	}
+	var cands []cand
+	var myColSum float64
+	hosted := lg.HostedColumns()
+	for _, col := range hosted {
+		myColSum += obs.ColLoad(col)
+	}
+	for _, col := range hosted {
+		if d.l.IsPermanent(col) {
+			continue
+		}
+		owner := d.l.OwnerOf(col)
+		ideal := d.idealRank(col)
+		if ideal == d.rank {
+			continue
+		}
+		if owner == d.rank {
+			// Lending is legal only into my up-left set.
+			if !upLeftContains(d.l, d.rank, ideal) {
+				continue
+			}
+			cands = append(cands, cand{col, ideal, obs.ColLoad(col)})
+		} else {
+			// Borrowed column the curve no longer assigns to me: the only
+			// legal move is back to its owner.
+			cands = append(cands, cand{col, owner, obs.ColLoad(col)})
+		}
+	}
+	// Heaviest columns first; column index breaks ties deterministically.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].w != cands[b].w {
+			return cands[a].w > cands[b].w
+		}
+		return cands[a].col < cands[b].col
+	})
+
+	// Fire moves while they strictly improve the pairwise max between this
+	// PE and the destination. Column loads are particle counts while PE
+	// loads are pair evaluations, so a column's PE-load share is estimated
+	// proportionally.
+	self := obs.Self
+	dest := append([]float64(nil), obs.PELoad...)
+	var out []dlb.Decision
+	for _, c := range cands {
+		if len(out) >= d.cfg.MaxMoves() {
+			break
+		}
+		dl := dest[c.dest]
+		if self <= dl*(1+d.cfg.Hysteresis) {
+			continue
+		}
+		var w float64
+		if myColSum > 0 {
+			w = self * c.w / myColSum
+		}
+		if w <= 0 || dl+w >= self {
+			continue // the move would not lower the pairwise max
+		}
+		out = append(out, dlb.Decision{Col: c.col, Dest: c.dest})
+		self -= w
+		dest[c.dest] = dl + w
+	}
+	return out
+}

@@ -58,6 +58,12 @@ type Meta struct {
 	Dt         float64
 	Shards     int
 	StatsEvery int
+	// Balancer is the encoded load-balancing strategy (balance.Encode):
+	// "permcell(...)", "sfc(...)", "diffusive(...)", or "" in checkpoints
+	// predating the pluggable-balancer format, where the DLB flag alone
+	// identifies the permanent-cell scheme. Restore refuses to resume a
+	// checkpoint under a different balancer than it was written with.
+	Balancer string
 
 	// Cumulative communication counters at snapshot time, so a resumed
 	// run's totals continue from the interrupted run's.

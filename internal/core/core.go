@@ -30,6 +30,7 @@ import (
 	"math"
 	"time"
 
+	"permcell/internal/balance"
 	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/conc"
@@ -74,15 +75,32 @@ type Config struct {
 	// disables it).
 	Tref         float64
 	RescaleEvery int
+	// Balancer is the pluggable load-balancing strategy driven at the DLB
+	// cadence (nil = static DDM, unless the legacy DLB flag below selects
+	// the permanent-cell reference balancer). All strategies execute their
+	// moves through the same ledger/colTransfer machinery, so the
+	// 8-neighbor exchange pattern and the transfer invariants (forces
+	// carried, conservation, C' bound) hold for every implementation.
+	Balancer balance.Balancer
 	// DLB enables the permanent-cell dynamic load balancing.
+	//
+	// Deprecated: legacy switch, equivalent to setting Balancer to
+	// balance.PermanentCell{Hysteresis: DLBHysteresis, Pick: DLBPick}.
+	// Ignored when Balancer is set explicitly.
 	DLB bool
-	// DLBEvery runs the DLB exchange every k-th step (default 1 — the
+	// DLBEvery runs the balancer exchange every k-th step (default 1 — the
 	// paper's "every time step"; larger values are the frequency ablation).
 	DLBEvery int
 	// DLBHysteresis is the relative load gap required to move a column
 	// (0 = paper-literal).
+	//
+	// Deprecated: folded into the permanent-cell balancer's config; only
+	// consulted by the legacy DLB switch above.
 	DLBHysteresis float64
 	// DLBPick selects which candidate column moves.
+	//
+	// Deprecated: folded into the permanent-cell balancer's config; only
+	// consulted by the legacy DLB switch above.
 	DLBPick dlb.Strategy
 	// Metric selects the DLB decision load metric.
 	Metric LoadMetric
@@ -164,8 +182,15 @@ type StepStats struct {
 	// populated only under Config.Metrics (all-zero otherwise).
 	Phases metrics.Breakdown
 
-	// Moved is the number of columns transferred by DLB this step.
-	Moved int
+	// Moved is the number of columns transferred by the balancer this
+	// step; MovedBytes is the particle payload those transfers carried
+	// (the migration-traffic counters of the cross-balancer comparison).
+	Moved      int
+	MovedBytes int64
+
+	// Balancer names the active balancing strategy ("none" for static
+	// DDM), so traces and run headers carry the scheme identity.
+	Balancer string
 
 	// TotalEnergy and Temperature are global observables.
 	TotalEnergy float64
@@ -218,6 +243,26 @@ type Result struct {
 // guardOn reports whether the runtime physics guards are armed.
 func (cfg *Config) guardOn() bool { return cfg.Guard != nil && !cfg.Guard.Disabled }
 
+// normalize resolves the deprecated DLB/DLBHysteresis/DLBPick switches into
+// the pluggable Balancer, so both configuration styles drive the identical
+// engine path (which is what keeps legacy WithDLB traces bit-identical to
+// WithBalancer(PermanentCell) ones). An explicit Balancer wins; the legacy
+// mirror flag is kept in sync for code that still reads it.
+func (cfg *Config) normalize() {
+	if cfg.Balancer == nil && cfg.DLB {
+		cfg.Balancer = balance.PermanentCell{Hysteresis: cfg.DLBHysteresis, Pick: cfg.DLBPick}
+	}
+	cfg.DLB = cfg.Balancer != nil
+}
+
+// BalancerName returns the active strategy's name, "none" for static DDM.
+func (cfg *Config) BalancerName() string {
+	if cfg.Balancer == nil {
+		return "none"
+	}
+	return cfg.Balancer.Name()
+}
+
 // Layout derives the DLB layout (torus side s and block size m) from cfg.
 func (cfg *Config) Layout() (dlb.Layout, error) {
 	s := int(math.Round(math.Sqrt(float64(cfg.P))))
@@ -263,8 +308,17 @@ func (cfg *Config) validate() error {
 	if cfg.Shards < 0 {
 		return fmt.Errorf("core: Shards must be >= 0, got %d", cfg.Shards)
 	}
-	if _, err := cfg.Layout(); err != nil {
+	if cfg.DLBHysteresis < 0 {
+		return fmt.Errorf("core: DLBHysteresis must be >= 0, got %g", cfg.DLBHysteresis)
+	}
+	layout, err := cfg.Layout()
+	if err != nil {
 		return err
+	}
+	if cfg.Balancer != nil {
+		if err := cfg.Balancer.Validate(layout); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	if cfg.Restore != nil {
 		if err := cfg.Restore.Validate(cfg.P); err != nil {
@@ -308,6 +362,7 @@ func restoreHosts(layout dlb.Layout, st *checkpoint.EngineState) (map[int]int, e
 // the given system and returns the per-step statistics and final state.
 // The input system is not modified.
 func Run(cfg Config, sys workload.System, steps int) (*Result, error) {
+	cfg.normalize()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

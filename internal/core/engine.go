@@ -52,6 +52,7 @@ type Engine struct {
 // They compute the step-0 forces and then idle awaiting the first Step.
 // The input system is not modified.
 func NewEngine(cfg Config, sys workload.System) (*Engine, error) {
+	cfg.normalize()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

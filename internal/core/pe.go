@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"permcell/internal/balance"
 	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
 	"permcell/internal/conc"
@@ -46,16 +47,17 @@ type cellBlock struct {
 
 // peRecord is the per-step census a PE contributes to the global stats.
 type peRecord struct {
-	Work   float64
-	Wall   float64
-	Step   float64 // whole-step wall seconds
-	Cells  int
-	Empty  int
-	Moved  int
-	PotE   float64
-	KinE   float64
-	N      int
-	Phases metrics.Sample // zero unless cfg.Metrics
+	Work       float64
+	Wall       float64
+	Step       float64 // whole-step wall seconds
+	Cells      int
+	Empty      int
+	Moved      int
+	MovedBytes int64
+	PotE       float64
+	KinE       float64
+	N          int
+	Phases     metrics.Sample // zero unless cfg.Metrics
 }
 
 // pe is the state of one processing element.
@@ -64,7 +66,8 @@ type pe struct {
 	cfg    *Config
 	layout dlb.Layout
 	lg     *dlb.Ledger
-	nbs    []int // unique neighbor ranks, ascending
+	dec    balance.Decider // nil when no balancer is configured
+	nbs    []int           // unique neighbor ranks, ascending
 
 	set    particle.Set
 	cl     *kernel.CellLists // flat cell lists + force kernel scratch
@@ -72,10 +75,11 @@ type pe struct {
 	cells  []int             // scratch for the hosted cell list
 	colPop map[int]int       // hosted column -> particle count
 
-	lastWork float64 // pair evaluations of last force computation
-	lastWall float64 // wall seconds of last force computation
-	potE     float64 // local share of potential energy
-	moved    int     // columns moved by my decision this step
+	lastWork   float64 // pair evaluations of last force computation
+	lastWall   float64 // wall seconds of last force computation
+	potE       float64 // local share of potential energy
+	moved      int     // columns moved by my decisions this step
+	movedBytes int64   // particle payload bytes those moves carried
 	initN    int64   // global particle count at step 0 (Verify or Guard)
 	step0    int     // absolute step the run starts at (checkpoint restore)
 
@@ -119,6 +123,9 @@ func newPE(c *comm.Comm, cfg *Config, layout dlb.Layout, sys workload.System, ho
 	sort.Ints(p.nbs)
 	if cfg.Metrics {
 		p.tm = &metrics.Timer{}
+	}
+	if cfg.Balancer != nil {
+		p.dec = cfg.Balancer.NewDecider(layout, c.Rank())
 	}
 
 	if cfg.Restore != nil {
@@ -178,9 +185,9 @@ func (p *pe) oneStep(step int, res *Result) {
 		dlbEvery = 1
 	}
 	t0 := time.Now()
-	p.moved = 0
-	if p.cfg.DLB && (step-1)%dlbEvery == 0 {
-		p.dlbStep()
+	p.moved, p.movedBytes = 0, 0
+	if p.dec != nil && (step-1)%dlbEvery == 0 {
+		p.balanceStep()
 	}
 	ti := p.tm.Start()
 	integrator.HalfKick(&p.set, p.cfg.Dt)
@@ -266,13 +273,18 @@ func (p *pe) snapshot(snap []checkpoint.Frame) {
 }
 
 // verifyStep asserts the DESIGN.md section 6 protocol invariants at the end
-// of a step: at most one column moved by this PE, the per-ledger
-// permanent-cell invariants, the global single-host partition over all
-// columns, and particle-count conservation. Violations panic, which chaos
-// runs surface as failures instead of silently corrupt physics.
+// of a step: no more columns moved by this PE than the balancer's declared
+// per-epoch bound, the per-ledger permanent-cell invariants, the global
+// single-host partition over all columns, and particle-count conservation.
+// Violations panic, which chaos runs surface as failures instead of
+// silently corrupt physics.
 func (p *pe) verifyStep(step int) {
-	if p.moved > 1 {
-		panic(fmt.Sprintf("core: rank %d step %d moved %d columns (max 1)", p.c.Rank(), step, p.moved))
+	maxMoves := 0
+	if p.cfg.Balancer != nil {
+		maxMoves = p.cfg.Balancer.MaxMoves()
+	}
+	if p.moved > maxMoves {
+		panic(fmt.Sprintf("core: rank %d step %d moved %d columns (max %d)", p.c.Rank(), step, p.moved, maxMoves))
 	}
 	if err := p.lg.CheckInvariants(); err != nil {
 		panic(fmt.Sprintf("core: rank %d step %d: %v", p.c.Rank(), step, err))
@@ -306,9 +318,47 @@ func (p *pe) load() float64 {
 	return p.lastWork
 }
 
-// dlbStep runs protocol steps 1-4 plus the particle payload transfers.
-func (p *pe) dlbStep() {
-	td := p.tm.Start()
+// loadCensus is the per-rank payload of a global-scope balancer epoch: the
+// PE's load plus its hosted-column occupancy census.
+type loadCensus struct {
+	Load float64
+	Cols []int
+	Pop  []int
+}
+
+// observe assembles this epoch's balance.Observation. Neighbor-scope
+// balancers use the paper's protocol step 1 (one small message per
+// neighbor) byte-for-byte as the pre-interface DLB path did; global-scope
+// balancers replace it with one allgather carrying every PE's load and
+// column census.
+func (p *pe) observe() balance.Observation {
+	obs := balance.Observation{Self: p.load()}
+	pi, pj := p.layout.T.Coords(p.c.Rank())
+
+	if p.cfg.Balancer.Scope() == balance.ScopeGlobal {
+		mine := loadCensus{Load: p.load(), Cols: p.lg.HostedColumns()}
+		mine.Pop = make([]int, len(mine.Cols))
+		for i, col := range mine.Cols {
+			mine.Pop[i] = p.colPop[col]
+		}
+		all := p.c.Allgather(mine)
+		peLoad := make([]float64, len(all))
+		colLoad := make([]float64, p.layout.NumColumns())
+		for r, a := range all {
+			cen := a.(loadCensus)
+			peLoad[r] = cen.Load
+			for i, col := range cen.Cols {
+				colLoad[col] = float64(cen.Pop[i])
+			}
+		}
+		obs.PELoad = peLoad
+		for k, off := range topology.Offsets8 {
+			obs.Neighbor[k] = peLoad[p.layout.T.Rank(pi+off.DI, pj+off.DJ)]
+		}
+		obs.ColLoad = func(col int) float64 { return colLoad[col] }
+		return obs
+	}
+
 	// Step 1: exchange last-step loads with the 8 neighbors.
 	for _, nb := range p.nbs {
 		p.send(metrics.PhaseDLBDecide, nb, tagLoad, p.load(), 0)
@@ -317,58 +367,80 @@ func (p *pe) dlbStep() {
 	for _, nb := range p.nbs {
 		nbLoad[nb] = p.c.Recv(nb, tagLoad).(float64)
 	}
-	var loads dlb.Loads
-	loads.Self = p.load()
-	pi, pj := p.layout.T.Coords(p.c.Rank())
 	for k, off := range topology.Offsets8 {
-		loads.Neighbor[k] = nbLoad[p.layout.T.Rank(pi+off.DI, pj+off.DJ)]
+		obs.Neighbor[k] = nbLoad[p.layout.T.Rank(pi+off.DI, pj+off.DJ)]
+	}
+	obs.ColLoad = func(col int) float64 { return float64(p.colPop[col]) }
+	return obs
+}
+
+// balanceStep runs one balancer epoch: observe loads, let the strategy
+// decide, broadcast and apply the decisions, then execute the particle
+// payload transfers. The wire protocol is the permanent-cell one
+// generalized to a decision *list* per PE (still exactly one decision
+// message per neighbor per epoch), so every strategy inherits the
+// 8-neighbor exchange and its invariants.
+func (p *pe) balanceStep() {
+	td := p.tm.Start()
+	obs := p.observe()
+
+	// Decide. The strategy may emit several moves, bounded by MaxMoves;
+	// the ledger validates each against the permanent-cell contract when
+	// applied, so an out-of-contract balancer is a protocol panic, not
+	// silent corruption.
+	ds := p.dec.Decide(p.lg, obs)
+	if maxMoves := p.cfg.Balancer.MaxMoves(); len(ds) > maxMoves {
+		panic(fmt.Sprintf("core: rank %d: balancer %q emitted %d decisions (max %d)",
+			p.c.Rank(), p.cfg.Balancer.Name(), len(ds), maxMoves))
 	}
 
-	// Steps 2-3: decide.
-	d := p.lg.Decide(loads, dlb.Config{
-		Hysteresis: p.cfg.DLBHysteresis,
-		Pick:       p.cfg.DLBPick,
-		ColLoad: func(col int) float64 {
-			return float64(p.colPop[col])
-		},
-	})
-
-	// Step 4: broadcast the decision; apply everyone's.
+	// Broadcast my decisions; apply everyone's.
 	for _, nb := range p.nbs {
-		p.send(metrics.PhaseDLBDecide, nb, tagDecision, d, 0)
+		p.send(metrics.PhaseDLBDecide, nb, tagDecision, ds, 0)
 	}
-	if err := p.lg.Apply(p.c.Rank(), d); err != nil {
-		panic(fmt.Sprintf("core: rank %d self-apply: %v", p.c.Rank(), err))
+	for _, d := range ds {
+		if err := p.lg.Apply(p.c.Rank(), d); err != nil {
+			panic(fmt.Sprintf("core: rank %d self-apply: %v", p.c.Rank(), err))
+		}
 	}
-	nbDecision := make(map[int]dlb.Decision, len(p.nbs))
+	nbDecisions := make(map[int][]dlb.Decision, len(p.nbs))
 	for _, nb := range p.nbs {
-		nd := p.c.Recv(nb, tagDecision).(dlb.Decision)
-		nbDecision[nb] = nd
-		if err := p.lg.Apply(nb, nd); err != nil {
-			panic(fmt.Sprintf("core: rank %d applying decision of %d: %v", p.c.Rank(), nb, err))
+		nds := p.c.Recv(nb, tagDecision).([]dlb.Decision)
+		nbDecisions[nb] = nds
+		for _, nd := range nds {
+			if err := p.lg.Apply(nb, nd); err != nil {
+				panic(fmt.Sprintf("core: rank %d applying decision of %d: %v", p.c.Rank(), nb, err))
+			}
 		}
 	}
 
 	p.tm.Stop(metrics.PhaseDLBDecide, td)
 
-	// Payload transfers: my moved column's particles leave; columns moved to
-	// me arrive. Unlike migration (which runs before the forces it affects
-	// are computed), the DLB move happens before the first half kick — the
-	// kick that consumes the forces evaluated at the end of the previous
-	// step — so the payload must carry each particle's current force.
-	// Dropping it would kick transferred particles with zero force, which
-	// injects net momentum into the system on every move step (the
+	// Payload transfers: my moved columns' particles leave; columns moved
+	// to me arrive. Unlike migration (which runs before the forces it
+	// affects are computed), the balancer move happens before the first
+	// half kick — the kick that consumes the forces evaluated at the end of
+	// the previous step — so the payload must carry each particle's current
+	// force. Dropping it would kick transferred particles with zero force,
+	// which injects net momentum into the system on every move step (the
 	// momentum-conservation invariant test catches exactly this).
 	tt := p.tm.Start()
-	if d.Col >= 0 {
-		p.moved = 1
+	for _, d := range ds {
+		p.moved++
 		p.dirty = true
 		out := p.extractColumn(d.Col)
-		p.send(metrics.PhaseDLBTransfer, d.Dest, tagTransfer, out, int64(len(out.ps))*72)
+		size := int64(len(out.ps)) * 72
+		p.movedBytes += size
+		p.send(metrics.PhaseDLBTransfer, d.Dest, tagTransfer, out, size)
 	}
+	// Per-(source, tag) FIFO ordering matches the sender's loop order, so
+	// multiple inbound transfers from one neighbor arrive in its decision
+	// order.
 	for _, nb := range p.nbs {
-		nd := nbDecision[nb]
-		if nd.Col >= 0 && nd.Dest == p.c.Rank() {
+		for _, nd := range nbDecisions[nb] {
+			if nd.Dest != p.c.Rank() {
+				continue
+			}
 			p.dirty = true
 			in := p.c.Recv(nb, tagTransfer).(colTransfer)
 			for k, one := range in.ps {
@@ -563,22 +635,23 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		}
 	}
 	rec := peRecord{
-		Work:   p.lastWork,
-		Wall:   p.lastWall,
-		Step:   stepWall,
-		Cells:  p.cl.NumHosted(),
-		Empty:  empty,
-		Moved:  p.moved,
-		PotE:   p.potE,
-		KinE:   p.set.KineticEnergy(),
-		N:      p.set.Len(),
-		Phases: sample,
+		Work:       p.lastWork,
+		Wall:       p.lastWall,
+		Step:       stepWall,
+		Cells:      p.cl.NumHosted(),
+		Empty:      empty,
+		Moved:      p.moved,
+		MovedBytes: p.movedBytes,
+		PotE:       p.potE,
+		KinE:       p.set.KineticEnergy(),
+		N:          p.set.Len(),
+		Phases:     sample,
 	}
 	all := p.c.Allgather(rec)
 	if p.c.Rank() != 0 {
 		return
 	}
-	st := StepStats{Step: step, WorkMin: -1, WallMin: -1}
+	st := StepStats{Step: step, WorkMin: -1, WallMin: -1, Balancer: p.cfg.BalancerName()}
 	pes := make([]conc.PE, len(all))
 	var totalN int
 	for i, a := range all {
@@ -596,6 +669,7 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		st.WallAve += r.Wall
 		st.StepWallAve += r.Step
 		st.Moved += r.Moved
+		st.MovedBytes += r.MovedBytes
 		st.TotalEnergy += r.PotE + r.KinE
 		totalN += r.N
 		pes[i] = conc.PE{Cells: r.Cells, Empty: r.Empty}

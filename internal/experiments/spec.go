@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"permcell/internal/balance"
 	"permcell/internal/core"
 	"permcell/internal/dlb"
 	"permcell/internal/potential"
@@ -34,8 +35,12 @@ type RunSpec struct {
 	M, P  int
 	Rho   float64
 	Steps int
-	DLB   bool
-	Seed  uint64
+	// DLB selects the permanent-cell balancer (the paper's method);
+	// Balancer, when non-nil, selects an explicit strategy instead and
+	// wins over DLB.
+	DLB      bool
+	Balancer balance.Balancer
+	Seed     uint64
 	// WellK is the harmonic well strength driving concentration
 	// (0 disables the wells: pure supercooled-gas physics).
 	WellK float64
@@ -114,6 +119,7 @@ func (s RunSpec) Build() (core.Config, workload.System, SysInfo, error) {
 		Dt:            dt,
 		Tref:          units.PaperTref,
 		RescaleEvery:  units.PaperRescaleInterval,
+		Balancer:      s.Balancer,
 		DLB:           s.DLB,
 		DLBHysteresis: s.Hysteresis,
 		DLBPick:       dlb.PickMostLoaded,

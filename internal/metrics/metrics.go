@@ -259,7 +259,14 @@ type StepRecord struct {
 	LoadRatio  float64 `json:"load_ratio"`
 	Efficiency float64 `json:"efficiency"`
 	Imbalance  float64 `json:"imbalance"`
-	Moved      int     `json:"moved"`
+
+	// Balancer names the load-balancing strategy the run executes under
+	// ("none" for static DDM); Moved/MovedBytes are its migration traffic
+	// this step (columns handed over, and the particle+force payload bytes
+	// that traveled with them).
+	Balancer   string `json:"balancer"`
+	Moved      int    `json:"moved"`
+	MovedBytes int64  `json:"moved_bytes"`
 
 	C0OverC       float64  `json:"c0_over_c"`
 	NFactor       float64  `json:"n_factor"`
@@ -268,10 +275,15 @@ type StepRecord struct {
 }
 
 // NewStepRecord assembles the exportable record from the reduced step
-// quantities. m is the square-pillar cross-section (0 when unknown, e.g.
-// static decompositions — the bound fields are then omitted).
+// quantities. balancer is the strategy name from StepStats.Balancer ("" is
+// normalized to "none"); m is the square-pillar cross-section (0 when
+// unknown, e.g. static decompositions — the bound fields are then omitted).
 func NewStepRecord(step int, b Breakdown, stepWallMax, stepWallAve,
-	workMax, workAve, workMin float64, moved int, c0OverC, nFactor float64, m int) StepRecord {
+	workMax, workAve, workMin float64, balancer string, moved int,
+	movedBytes int64, c0OverC, nFactor float64, m int) StepRecord {
+	if balancer == "" {
+		balancer = "none"
+	}
 	rec := StepRecord{
 		Step:        step,
 		StepWallMax: stepWallMax,
@@ -287,7 +299,9 @@ func NewStepRecord(step int, b Breakdown, stepWallMax, stepWallAve,
 		WorkMax: workMax, WorkAve: workAve, WorkMin: workMin,
 		LoadRatio:  LoadRatio(workMax, workAve),
 		Efficiency: Efficiency(workMax, workAve),
+		Balancer:   balancer,
 		Moved:      moved,
+		MovedBytes: movedBytes,
 		C0OverC:    c0OverC, NFactor: nFactor,
 	}
 	if workAve > 0 {

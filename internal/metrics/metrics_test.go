@@ -143,7 +143,7 @@ func TestStepRecordJSONL(t *testing.T) {
 	b.Fold(s)
 	b.Finalize(1)
 
-	rec := NewStepRecord(7, b, 1.1, 1.0, 300, 200, 100, 1, 0.5, 1.2, 2)
+	rec := NewStepRecord(7, b, 1.1, 1.0, 300, 200, 100, "permcell", 1, 72, 0.5, 1.2, 2)
 	var buf bytes.Buffer
 	if err := NewJSONLWriter(&buf).Write(rec); err != nil {
 		t.Fatal(err)
@@ -165,6 +165,9 @@ func TestStepRecordJSONL(t *testing.T) {
 	if back["imbalance"].(float64) != 1 {
 		t.Errorf("imbalance = %v", back["imbalance"])
 	}
+	if back["balancer"].(string) != "permcell" || back["moved_bytes"].(float64) != 72 {
+		t.Errorf("balancer/moved_bytes = %v/%v", back["balancer"], back["moved_bytes"])
+	}
 	ps := back["phase_secs_ave"].(map[string]any)
 	if ps["force"].(float64) != 0.6 || ps["halo"].(float64) != 0.4 {
 		t.Errorf("phase_secs_ave = %v", ps)
@@ -178,13 +181,16 @@ func TestStepRecordJSONL(t *testing.T) {
 
 	// Out-of-domain bound (n < 1) must omit the bound fields, keeping the
 	// record valid JSON (NaN would fail to encode).
-	rec = NewStepRecord(1, b, 1, 1, 1, 1, 1, 0, 0.5, 0.2, 2)
+	rec = NewStepRecord(1, b, 1, 1, 1, 1, 1, "", 0, 0, 0.5, 0.2, 2)
 	buf.Reset()
 	if err := NewJSONLWriter(&buf).Write(rec); err != nil {
 		t.Fatalf("out-of-domain record: %v", err)
 	}
 	if strings.Contains(buf.String(), "bound") {
 		t.Errorf("bound fields present out of domain: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"balancer":"none"`) {
+		t.Errorf("empty balancer not normalized to none: %s", buf.String())
 	}
 }
 

@@ -57,6 +57,7 @@ const (
 // documented default.
 type Options struct {
 	dlb        bool
+	balancer   Balancer
 	wells      int
 	wellK      float64
 	hysteresis float64
@@ -93,11 +94,30 @@ func buildOptions(opts []Option) Options {
 	if o.statsEvery < 1 {
 		o.statsEvery = 1
 	}
+	// Resolve the WithDLB sugar into the reference balancer. Order-free:
+	// an explicit WithBalancer always wins over the flag, and the
+	// WithHysteresis value is folded in only for the sugar form (an
+	// explicit PermanentCell carries its own hysteresis).
+	if o.balancer == nil && o.dlb {
+		o.balancer = PermanentCell(PermanentCellConfig{Hysteresis: o.hysteresis})
+	}
+	o.dlb = o.balancer != nil
 	return o
 }
 
+// WithBalancer selects the load-balancing strategy the parallel engine
+// drives at the DLB cadence: PermanentCell (the paper's method), SFC or
+// Diffusive. nil (the default) runs static DDM. The balancer's parameters
+// are part of the run identity and are validated at engine construction;
+// WithHysteresis does not apply to an explicitly constructed balancer
+// (pass the hysteresis inside its config instead). Ignored by the serial
+// and static engines.
+func WithBalancer(b Balancer) Option { return func(o *Options) { o.balancer = b } }
+
 // WithDLB enables permanent-cell dynamic load balancing (plain static DDM
-// otherwise). Ignored by the serial and static engines.
+// otherwise): sugar for WithBalancer(PermanentCell(PermanentCellConfig{
+// Hysteresis: h})) with h from WithHysteresis. Ignored by the serial and
+// static engines, and superseded by an explicit WithBalancer.
 func WithDLB() Option { return func(o *Options) { o.dlb = true } }
 
 // WithWells adds n harmonic attractor sites of strength k to drive
@@ -108,7 +128,10 @@ func WithWells(n int, k float64) Option {
 }
 
 // WithHysteresis sets the DLB trigger threshold: the relative load gap a
-// neighbor must exceed before a column moves (0 = paper-literal).
+// neighbor must exceed before a column moves (0 = paper-literal). It
+// parameterizes the WithDLB sugar; an explicit WithBalancer carries its
+// hysteresis in the balancer's own config. Negative values are rejected at
+// engine construction.
 func WithHysteresis(h float64) Option { return func(o *Options) { o.hysteresis = h } }
 
 // WithShards sets the per-PE force-kernel worker count (<= 1 = serial

@@ -88,9 +88,16 @@ func Bound(m int, n float64) (float64, error) { return theory.F(m, n) }
 func MaxDomainColumns(m int) int { return theory.CPrimeColumns(m) }
 
 // PickStrategy selects which candidate column a PE hands over.
+//
+// Deprecated: the column-pick strategy is a parameter of the permanent-cell
+// balancer, not a global knob. Use the Pick alias and set it through
+// PermanentCellConfig.Pick on WithBalancer(PermanentCell(...)).
 type PickStrategy = dlb.Strategy
 
 // Column-pick strategies.
+//
+// Deprecated: set PermanentCellConfig.Pick instead; these constants remain
+// valid values for it.
 const (
 	PickMostLoaded  = dlb.PickMostLoaded
 	PickLeastLoaded = dlb.PickLeastLoaded
