@@ -51,20 +51,68 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"sync"
 	"syscall"
 
 	"permcell"
+	"permcell/internal/checkpoint"
 	"permcell/internal/metrics"
 )
+
+// artifact is a buffered, mutex-guarded file writer for the streaming
+// outputs (-o CSV, -metrics JSONL). The mutex lets the second-interrupt
+// goroutine flush a consistent prefix while rank 0's OnStep callback may be
+// mid-row, so even a forced exit leaves complete lines on disk rather than
+// a torn buffer tail.
+type artifact struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+	f  *os.File
+}
+
+func newArtifact(f *os.File) *artifact {
+	return &artifact{bw: bufio.NewWriter(f), f: f}
+}
+
+func (a *artifact) Write(p []byte) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bw.Write(p)
+}
+
+// Flush drains the buffer to the OS; Sync additionally pushes it to stable
+// storage (the forced-exit path wants both, cheap teardown wants Flush).
+func (a *artifact) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.bw.Flush()
+}
+
+func (a *artifact) Sync() error {
+	if err := a.Flush(); err != nil {
+		return err
+	}
+	return a.f.Sync()
+}
+
+func (a *artifact) Close() error {
+	err := a.Flush()
+	if cerr := a.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	m := flag.Int("m", 3, "square-pillar cross-section size m")
@@ -122,13 +170,29 @@ func main() {
 	defer stop()
 	// A second interrupt during the final flush (checkpoint write, engine
 	// teardown, CSV flush) means "stop now": force a non-zero exit instead
-	// of making the user wait out a stuck teardown.
+	// of making the user wait out a stuck teardown. Even then the buffered
+	// CSV/JSONL artifacts are flushed and synced first — a forced exit must
+	// not truncate the metrics stream mid-record.
+	var flushMu sync.Mutex
+	var flushers []*artifact
+	registerFlusher := func(a *artifact) {
+		flushMu.Lock()
+		flushers = append(flushers, a)
+		flushMu.Unlock()
+	}
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
 		<-sigc
 		fmt.Fprintln(os.Stderr, "mdrun: second interrupt; forcing exit")
+		flushMu.Lock()
+		for _, a := range flushers {
+			if err := a.Sync(); err != nil {
+				fmt.Fprintln(os.Stderr, "mdrun:", err)
+			}
+		}
+		flushMu.Unlock()
 		os.Exit(130)
 	}()
 
@@ -159,28 +223,32 @@ func main() {
 		defer trace.Stop()
 	}
 
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mdrun:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		a := newArtifact(f)
+		defer a.Close()
+		registerFlusher(a)
+		w = a
 	}
 	collect := *metricsOut != "" || *promOut != ""
 	var jsonl *metrics.JSONLWriter
 	if *metricsOut != "" {
-		mw := os.Stdout
+		var mw io.Writer = os.Stdout
 		if *metricsOut != "-" {
 			f, err := os.Create(*metricsOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mdrun:", err)
 				os.Exit(1)
 			}
-			defer f.Close()
-			mw = f
+			a := newArtifact(f)
+			defer a.Close()
+			registerFlusher(a)
+			mw = a
 		}
 		jsonl = metrics.NewJSONLWriter(mw)
 	}
@@ -233,6 +301,8 @@ func main() {
 				st.WorkMax, st.WorkAve, st.WorkMin,
 				st.Balancer, st.Moved, st.MovedBytes,
 				st.Conc.C0OverC, st.Conc.NFactor, *m)
+			rec.TotalEnergy = st.TotalEnergy
+			rec.Temperature = st.Temperature
 			if err := jsonl.Write(rec); err != nil && writeErr == nil {
 				writeErr = err
 			}
@@ -320,15 +390,13 @@ func main() {
 	}
 	// The Prometheus snapshot is written even when the run failed: a
 	// degraded supervised run's recovery counters are exactly what the
-	// operator wants to scrape afterwards.
+	// operator wants to scrape afterwards. It is written atomically
+	// (tmp+rename, the checkpoint idiom): a concurrent scrape — or a crash
+	// mid-write — must never see a torn exposition.
 	if *promOut != "" {
-		f, perr := os.Create(*promOut)
-		if perr == nil {
-			perr = cum.WritePrometheus(f)
-			if cerr := f.Close(); perr == nil {
-				perr = cerr
-			}
-		}
+		perr := checkpoint.WriteAtomic(*promOut, func(pw io.Writer) error {
+			return cum.WritePrometheus(pw)
+		})
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "mdrun:", perr)
 			if err == nil {

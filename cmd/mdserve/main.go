@@ -1,0 +1,87 @@
+// Command mdserve exposes the permcell simulation engines as an HTTP
+// service: submit runs, stream their step records live, pause/resume them
+// via checkpoints, and scrape Prometheus metrics for the whole fleet.
+//
+//	mdserve -addr :8080 -data /var/lib/mdserve -workers 4
+//
+// See the README's "Serving runs" section for a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"permcell/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "data directory for per-run checkpoints (default: a temp dir)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 64)")
+	maxParticles := flag.Int("max-particles", 0, "per-run particle cap (0 = 200000)")
+	batch := flag.Int("batch", 0, "steps per control-check batch (0 = 8)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	dir := *data
+	if dir == "" {
+		d, err := os.MkdirTemp("", "mdserve-*")
+		if err != nil {
+			log.Fatalf("mdserve: %v", err)
+		}
+		dir = d
+		log.Printf("mdserve: no -data given, using %s", dir)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Dir:          dir,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxParticles: *maxParticles,
+		StepBatch:    *batch,
+	})
+	if err != nil {
+		log.Fatalf("mdserve: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("mdserve: %v: draining (budget %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Stop accepting HTTP first, then cancel the runs and wait for the
+		// worker pool. Paused runs keep their checkpoints on disk.
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("mdserve: http shutdown: %v", err)
+		}
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("mdserve: service shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("mdserve: listening on %s (data %s)", *addr, dir)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mdserve: %v", err)
+	}
+	// ListenAndServe returned ErrServerClosed: the signal goroutine owns the
+	// drain; give it a moment to finish logging before exit.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mdserve: %v\n", err)
+		os.Exit(1)
+	}
+}

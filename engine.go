@@ -27,12 +27,15 @@ import (
 // checkpoint or stop any of them the same way.
 //
 // Step advances by n time steps and blocks until they complete. Stats
-// returns the per-step records collected so far (empty under
-// WithDiscardStats); the slice is live and must only be read between Step
-// calls. Result ends the run, releases any worker goroutines and returns
-// the completed outcome; it must be called exactly once even when
-// abandoning a run early, and is the only teardown an Engine needs.
-// Engines are not safe for concurrent use.
+// returns a copy of the per-step records collected so far (empty under
+// WithDiscardStats); the copy is the caller's to keep or mutate — it never
+// aliases engine state, so a driver (or a server streaming a multiplexed
+// run) cannot corrupt the accumulating trace. Result ends the run, releases
+// any worker goroutines and returns the completed outcome; it must be
+// called exactly once even when abandoning a run early, and is the only
+// teardown an Engine needs. The Result's Stats slice is handed over to the
+// caller: the engine appends nothing after Result. Engines are not safe
+// for concurrent use.
 type Engine interface {
 	Step(n int) error
 	Stats() []StepStats
@@ -149,13 +152,26 @@ type parallelEngine struct {
 	finished bool
 }
 
+// copyStats detaches a stats slice from the engine's internal accumulation
+// (see the Engine interface contract: Stats must not alias live state).
+func copyStats(s []StepStats) []StepStats {
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]StepStats(nil), s...)
+}
+
 func (e *parallelEngine) Step(n int) error {
 	if err := guardStep(e.finished, n); err != nil {
 		return err
 	}
 	return e.ckpt.stepWithCheckpoints(e.eng, n)
 }
-func (e *parallelEngine) Stats() []StepStats { return e.eng.Stats() }
+
+// Stats returns a copy: core.Engine.Stats exposes the live slice the rank-0
+// goroutine appends to, so handing it out uncopied would let a caller alias
+// (and mutate) engine state mid-run.
+func (e *parallelEngine) Stats() []StepStats { return copyStats(e.eng.Stats()) }
 func (e *parallelEngine) Result() (*Result, error) {
 	e.finished = true
 	return e.eng.Finish() // idempotent: memoizes its own outcome
@@ -306,7 +322,9 @@ func (e *staticEngine) drain() {
 	e.seen = len(raw)
 }
 
-func (e *staticEngine) Stats() []StepStats { return e.stats }
+// Stats returns a copy (see the Engine interface contract): e.stats keeps
+// growing with each drain, so the internal slice must not escape.
+func (e *staticEngine) Stats() []StepStats { return copyStats(e.stats) }
 
 func (e *staticEngine) Result() (*Result, error) {
 	if e.finished {
@@ -437,7 +455,9 @@ func (e *serialEngine) Checkpoint() error {
 	return e.ckpt.save(e.eng.StepCount(), 0, 0, []checkpoint.Frame{fr})
 }
 
-func (e *serialEngine) Stats() []StepStats { return e.stats }
+// Stats returns a copy (see the Engine interface contract): e.stats keeps
+// growing with each Step, so the internal slice must not escape.
+func (e *serialEngine) Stats() []StepStats { return copyStats(e.stats) }
 
 func (e *serialEngine) Result() (*Result, error) {
 	if e.err != nil {

@@ -218,3 +218,57 @@ func TestStaticEngineFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsReturnsCopy pins the Stats contract on every facade engine:
+// the returned slice is the caller's to keep, so corrupting it must not
+// leak into later Stats calls or into the final Result — including the
+// supervised wrapper, whose internal slice is concurrently appended to by
+// its admit hook.
+func TestStatsReturnsCopy(t *testing.T) {
+	dir := t.TempDir()
+	engines := map[string]func() (permcell.Engine, error){
+		"parallel": func() (permcell.Engine, error) {
+			return permcell.New(2, 4, 0.256)
+		},
+		"static": func() (permcell.Engine, error) {
+			return permcell.NewStatic(permcell.ShapePlane, 4, 2, 0.256)
+		},
+		"serial": func() (permcell.Engine, error) {
+			return permcell.NewSerial(4, 0.256)
+		},
+		"supervised": func() (permcell.Engine, error) {
+			return permcell.New(2, 4, 0.256,
+				permcell.WithCheckpoint(0, dir),
+				permcell.WithSupervisor(permcell.SupervisorPolicy{MaxRetries: 1}))
+		},
+	}
+	for name, build := range engines {
+		t.Run(name, func(t *testing.T) {
+			eng, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Step(3); err != nil {
+				t.Fatal(err)
+			}
+			got := eng.Stats()
+			if len(got) != 3 {
+				t.Fatalf("Stats has %d records, want 3", len(got))
+			}
+			got[0].Step = -999 // caller scribbles on its copy
+			if again := eng.Stats(); again[0].Step != 1 {
+				t.Fatalf("second Stats sees the caller's mutation: step %d", again[0].Step)
+			}
+			if err := eng.Step(2); err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats[0].Step != 1 || len(res.Stats) != 5 {
+				t.Fatalf("Result stats corrupted: first step %d, len %d", res.Stats[0].Step, len(res.Stats))
+			}
+		})
+	}
+}

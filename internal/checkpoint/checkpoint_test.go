@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -211,5 +213,87 @@ func TestEngineStateValidate(t *testing.T) {
 	ragged.Frames[1].Vel = ragged.Frames[1].Vel[:1]
 	if err := ragged.Validate(3); err == nil {
 		t.Error("ragged frame accepted")
+	}
+}
+
+// TestConcurrentSavesSameDir drives many simultaneous Saves into one
+// directory. Each writer lands in its own temporary file (a fixed tmp name
+// would make writers truncate each other mid-stream), so whatever ends up
+// as latest.ckpt must always be a complete, loadable checkpoint.
+func TestConcurrentSavesSameDir(t *testing.T) {
+	dir := t.TempDir()
+	frames := testFrames(4)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			var err error
+			for i := 0; i < 10 && err == nil; i++ {
+				_, err = Save(dir, testMeta(w*100+i), frames)
+			}
+			done <- err
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent Save: %v", err)
+		}
+	}
+	if _, _, err := Load(filepath.Join(dir, LatestName)); err != nil {
+		t.Fatalf("latest checkpoint unreadable after concurrent saves: %v", err)
+	}
+	// No temporary files may survive.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temporary file %s", e.Name())
+		}
+	}
+}
+
+// TestWriteAtomic pins the tmp+rename contract: the destination either
+// keeps its old content (writer failed) or atomically becomes the new
+// content, and failed writers leave no temporary files behind.
+func TestWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("content = %q", b)
+	}
+
+	sentinel := errors.New("writer failed")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("failed write clobbered the destination: %q", b)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out.txt" {
+		t.Fatalf("directory not clean after failed write: %v", ents)
+	}
+
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteAtomic overwrite: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("content after overwrite = %q", b)
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 )
@@ -36,11 +38,17 @@ var magic = [8]byte{'P', 'C', 'C', 'K', 'P', 'T', 0, '\n'}
 
 // Default file names inside a checkpoint directory. Save rotates the pair:
 // the old latest becomes previous, so one corrupted or half-written file
-// never strands the run.
+// never strands the run. Temporary files are uniquely named per Save call
+// (os.CreateTemp), never a fixed name: two engines checkpointing into the
+// same directory from one process must not tear each other's in-flight
+// writes. (Sharing a directory still interleaves the latest/previous
+// rotation itself — give concurrent runs separate directories, as
+// internal/serve does — but a fixed tmp name corrupted the files
+// themselves, not just the rotation.)
 const (
 	LatestName   = "latest.ckpt"
 	PreviousName = "previous.ckpt"
-	tmpName      = "checkpoint.tmp"
+	tmpPattern   = "checkpoint-*.tmp"
 )
 
 // maxSection bounds a single section to guard length fields corrupted into
@@ -185,11 +193,11 @@ func Save(dir string, meta *Meta, frames []Frame) (string, error) {
 	}
 	m := *meta
 	m.Version = FormatVersion
-	tmp := filepath.Join(dir, tmpName)
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(dir, tmpPattern)
 	if err != nil {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}
+	tmp := f.Name()
 	err = Encode(f, &m, frames)
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -200,7 +208,10 @@ func Save(dir string, meta *Meta, frames []Frame) (string, error) {
 	}
 	latest := filepath.Join(dir, LatestName)
 	if _, serr := os.Stat(latest); serr == nil {
-		if err := os.Rename(latest, filepath.Join(dir, PreviousName)); err != nil {
+		// A concurrent Save into the same directory may rotate latest away
+		// between the Stat and the Rename; that writer's rotation preserved
+		// a complete file as previous, so a vanished source is not an error.
+		if err := os.Rename(latest, filepath.Join(dir, PreviousName)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			os.Remove(tmp)
 			return "", fmt.Errorf("checkpoint: rotating previous: %w", err)
 		}
@@ -210,6 +221,35 @@ func Save(dir string, meta *Meta, frames []Frame) (string, error) {
 		return "", fmt.Errorf("checkpoint: %w", err)
 	}
 	return latest, nil
+}
+
+// WriteAtomic writes an arbitrary artifact with the checkpoint idiom: the
+// payload lands in a uniquely named temporary file beside the target and is
+// renamed into place only after a successful write and close. A reader (a
+// Prometheus scrape of an exit snapshot, a plot script tailing results)
+// never observes a torn or partially written file, and a crash mid-write
+// leaves the previous version intact. The drivers use it for every
+// exit-path artifact write.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads and verifies one checkpoint file.

@@ -80,8 +80,8 @@ type pe struct {
 	potE       float64 // local share of potential energy
 	moved      int     // columns moved by my decisions this step
 	movedBytes int64   // particle payload bytes those moves carried
-	initN    int64   // global particle count at step 0 (Verify or Guard)
-	step0    int     // absolute step the run starts at (checkpoint restore)
+	initN      int64   // global particle count at step 0 (Verify or Guard)
+	step0      int     // absolute step the run starts at (checkpoint restore)
 
 	// Energy-drift guard reference: the total energy of the first census
 	// after (re)start. Per-incarnation on purpose — a restored engine

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"time"
 
 	"permcell/internal/theory"
@@ -272,6 +273,13 @@ type StepRecord struct {
 	NFactor       float64  `json:"n_factor"`
 	Bound         *float64 `json:"bound,omitempty"`
 	BoundResidual *float64 `json:"bound_residual,omitempty"`
+
+	// TotalEnergy and Temperature are the global observables of the step's
+	// census. They are not part of NewStepRecord's reduction (drivers fill
+	// them from StepStats); deterministic for a given run identity, they
+	// are what trace-equivalence checks compare.
+	TotalEnergy float64 `json:"total_energy"`
+	Temperature float64 `json:"temperature"`
 }
 
 // NewStepRecord assembles the exportable record from the reduced step
@@ -373,8 +381,68 @@ func (c *Cumulative) Add(stepWallAve float64, b Breakdown) {
 	}
 }
 
-// WritePrometheus writes the counters in Prometheus text exposition format.
-func (c *Cumulative) WritePrometheus(w io.Writer) error {
+// The exposition is split into a header half and a sample half so a
+// multi-run exporter (internal/serve) can write each family's HELP/TYPE
+// comment once and then one labelled sample set per run: Prometheus rejects
+// expositions that repeat a family header, so the single-run
+// WritePrometheus form cannot simply be called in a loop.
+
+// recoveryFamilies enumerates the supervisor counter families in exposition
+// order.
+func recoveryFamilies(r *Recovery) []struct {
+	name, help string
+	v          int64
+} {
+	return []struct {
+		name, help string
+		v          int64
+	}{
+		{"permcell_recovery_panics_total", "PE panics caught by the supervisor.", r.Panics},
+		{"permcell_recovery_guard_violations_total", "Physics-guard violations caught by the supervisor.", r.GuardViolations},
+		{"permcell_recovery_deadlocks_total", "Watchdog deadlocks caught by the supervisor.", r.Deadlocks},
+		{"permcell_recovery_rollbacks_total", "Checkpoint rollbacks performed by the supervisor.", r.Rollbacks},
+		{"permcell_recovery_retries_total", "Recovery attempts consumed from the retry budget.", r.Retries},
+		{"permcell_recovery_steps_replayed_total", "Steps re-executed during post-rollback replay.", r.StepsReplayed},
+	}
+}
+
+// labelEscaper escapes label values per the Prometheus text exposition
+// format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// Labels renders key/value pairs as a label-block body (no braces), escaped
+// for the text exposition format: Labels("run", "r1") == `run="r1"`. An odd
+// trailing key is ignored; an empty call returns "".
+func Labels(kv ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, kv[i], labelEscaper.Replace(kv[i+1]))
+	}
+	return b.String()
+}
+
+// joinLabels merges two label-block bodies into a rendered {...} block
+// ("" when both are empty).
+func joinLabels(a, b string) string {
+	switch {
+	case a == "" && b == "":
+		return ""
+	case a == "":
+		return "{" + b + "}"
+	case b == "":
+		return "{" + a + "}"
+	default:
+		return "{" + a + "," + b + "}"
+	}
+}
+
+// WritePrometheusHeaders writes the HELP/TYPE header of every Cumulative
+// family (including the recovery families when recovery is set). Call it
+// once per exposition, before any WriteSamples.
+func WritePrometheusHeaders(w io.Writer, recovery bool) error {
 	var err error
 	p := func(format string, args ...any) {
 		if err == nil {
@@ -383,41 +451,57 @@ func (c *Cumulative) WritePrometheus(w io.Writer) error {
 	}
 	p("# HELP permcell_steps_total Time steps recorded by the metrics layer.\n")
 	p("# TYPE permcell_steps_total counter\n")
-	p("permcell_steps_total %d\n", c.Steps)
 	p("# HELP permcell_step_wall_seconds_total PE-average whole-step wall seconds, summed over steps.\n")
 	p("# TYPE permcell_step_wall_seconds_total counter\n")
-	p("permcell_step_wall_seconds_total %g\n", c.StepWallSecs)
 	p("# HELP permcell_phase_seconds_total PE-average wall seconds per phase, summed over steps.\n")
 	p("# TYPE permcell_phase_seconds_total counter\n")
-	for ph := Phase(0); ph < NumPhases; ph++ {
-		p("permcell_phase_seconds_total{phase=%q} %g\n", ph.String(), c.Secs[ph])
-	}
 	p("# HELP permcell_phase_messages_total Point-to-point messages originated per phase.\n")
 	p("# TYPE permcell_phase_messages_total counter\n")
-	for ph := Phase(0); ph < NumPhases; ph++ {
-		p("permcell_phase_messages_total{phase=%q} %d\n", ph.String(), c.Msgs[ph])
-	}
 	p("# HELP permcell_phase_bytes_total Point-to-point payload bytes originated per phase.\n")
 	p("# TYPE permcell_phase_bytes_total counter\n")
-	for ph := Phase(0); ph < NumPhases; ph++ {
-		p("permcell_phase_bytes_total{phase=%q} %d\n", ph.String(), c.Bytes[ph])
-	}
-	if r := c.Recovery; r != nil {
-		for _, m := range []struct {
-			name, help string
-			v          int64
-		}{
-			{"permcell_recovery_panics_total", "PE panics caught by the supervisor.", r.Panics},
-			{"permcell_recovery_guard_violations_total", "Physics-guard violations caught by the supervisor.", r.GuardViolations},
-			{"permcell_recovery_deadlocks_total", "Watchdog deadlocks caught by the supervisor.", r.Deadlocks},
-			{"permcell_recovery_rollbacks_total", "Checkpoint rollbacks performed by the supervisor.", r.Rollbacks},
-			{"permcell_recovery_retries_total", "Recovery attempts consumed from the retry budget.", r.Retries},
-			{"permcell_recovery_steps_replayed_total", "Steps re-executed during post-rollback replay.", r.StepsReplayed},
-		} {
+	if recovery {
+		for _, m := range recoveryFamilies(&Recovery{}) {
 			p("# HELP %s %s\n", m.name, m.help)
 			p("# TYPE %s counter\n", m.name)
-			p("%s %d\n", m.name, m.v)
 		}
 	}
 	return err
+}
+
+// WriteSamples writes c's sample lines with the given extra label-block
+// body (from Labels; "" = unlabelled) attached to every series. Recovery
+// samples are included only when c.Recovery is non-nil.
+func (c *Cumulative) WriteSamples(w io.Writer, labels string) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("permcell_steps_total%s %d\n", joinLabels("", labels), c.Steps)
+	p("permcell_step_wall_seconds_total%s %g\n", joinLabels("", labels), c.StepWallSecs)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		p("permcell_phase_seconds_total%s %g\n", joinLabels(Labels("phase", ph.String()), labels), c.Secs[ph])
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		p("permcell_phase_messages_total%s %d\n", joinLabels(Labels("phase", ph.String()), labels), c.Msgs[ph])
+	}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		p("permcell_phase_bytes_total%s %d\n", joinLabels(Labels("phase", ph.String()), labels), c.Bytes[ph])
+	}
+	if r := c.Recovery; r != nil {
+		for _, m := range recoveryFamilies(r) {
+			p("%s%s %d\n", m.name, joinLabels("", labels), m.v)
+		}
+	}
+	return err
+}
+
+// WritePrometheus writes the counters in Prometheus text exposition format:
+// the family headers followed by one unlabelled sample set.
+func (c *Cumulative) WritePrometheus(w io.Writer) error {
+	if err := WritePrometheusHeaders(w, c.Recovery != nil); err != nil {
+		return err
+	}
+	return c.WriteSamples(w, "")
 }

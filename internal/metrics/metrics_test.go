@@ -244,3 +244,88 @@ func TestCumulativePrometheus(t *testing.T) {
 		}
 	}
 }
+
+func TestLabels(t *testing.T) {
+	for _, tc := range []struct {
+		kv   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"run", "r1"}, `run="r1"`},
+		{[]string{"run", "r1", "state", "paused"}, `run="r1",state="paused"`},
+		{[]string{"odd"}, ""},
+		{[]string{"v", `a"b\c` + "\n"}, `v="a\"b\\c\n"`},
+	} {
+		if got := Labels(tc.kv...); got != tc.want {
+			t.Errorf("Labels(%q) = %q, want %q", tc.kv, got, tc.want)
+		}
+	}
+}
+
+// TestLabelledExposition checks the multi-run split: one header block, then
+// one labelled sample set per run — the shape Prometheus requires (it
+// rejects a repeated HELP/TYPE for a family).
+func TestLabelledExposition(t *testing.T) {
+	var b Breakdown
+	s := Sample{}
+	s.Secs[PhaseForce] = 0.25
+	b.Fold(s)
+	b.Finalize(1)
+
+	var c1, c2 Cumulative
+	c1.Add(0.3, b)
+	c2.Add(0.4, b)
+	c2.Add(0.4, b)
+	c2.Recovery = &Recovery{Rollbacks: 3}
+
+	var buf bytes.Buffer
+	if err := WritePrometheusHeaders(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	headerEnd := buf.Len()
+	if err := c1.WriteSamples(&buf, Labels("run", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteSamples(&buf, Labels("run", "r2")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if strings.Contains(out[headerEnd:], "# HELP") {
+		t.Errorf("HELP lines after the header block:\n%s", out)
+	}
+	if n := strings.Count(out, "# HELP permcell_steps_total"); n != 1 {
+		t.Errorf("permcell_steps_total declared %d times, want 1", n)
+	}
+	for _, want := range []string{
+		"permcell_steps_total{run=\"r1\"} 1\n",
+		"permcell_steps_total{run=\"r2\"} 2\n",
+		"permcell_phase_seconds_total{phase=\"force\",run=\"r1\"} 0.25\n",
+		"permcell_phase_seconds_total{phase=\"force\",run=\"r2\"} 0.5\n",
+		"permcell_recovery_rollbacks_total{run=\"r2\"} 3\n",
+		"# TYPE permcell_recovery_rollbacks_total counter\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labelled exposition missing %q:\n%s", want, out)
+		}
+	}
+	// c1 has no Recovery block: no recovery samples under its label.
+	if strings.Contains(out, `permcell_recovery_rollbacks_total{run="r1"}`) {
+		t.Errorf("recovery samples for a run without a Recovery block:\n%s", out)
+	}
+
+	// The unlabelled form is exactly headers + one unlabelled sample set.
+	var split, direct bytes.Buffer
+	if err := WritePrometheusHeaders(&split, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteSamples(&split, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WritePrometheus(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if split.String() != direct.String() {
+		t.Errorf("WritePrometheus != headers+samples:\n--- split:\n%s--- direct:\n%s", split.String(), direct.String())
+	}
+}

@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"permcell"
+	"permcell/internal/checkpoint"
+	"permcell/internal/metrics"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Dir is the service data directory; each run checkpoints into its own
+	// subdirectory Dir/<runID> (never shared: the latest/previous rotation
+	// is per-run state). Required.
+	Dir string
+	// Workers is the worker-pool size — the goroutine/CPU budget: at most
+	// Workers runs execute concurrently; each parallel run additionally
+	// spawns its spec's P PE goroutines. 0 = GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission FIFO; a POST /runs beyond it is
+	// rejected with 429 rather than queued unboundedly. 0 = 64.
+	QueueDepth int
+	// MaxParticles caps one run's estimated particle count N (the memory
+	// proxy: per-run state is O(N)); larger specs are rejected with 413.
+	// 0 = 200_000.
+	MaxParticles int
+	// StepBatch is the number of simulation steps a worker advances
+	// between control checks (pause/cancel latency, in steps). 0 = 8.
+	StepBatch int
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxParticles <= 0 {
+		c.MaxParticles = 200_000
+	}
+	if c.StepBatch <= 0 {
+		c.StepBatch = 8
+	}
+}
+
+// Admission errors (the HTTP layer maps them to status codes).
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrTooLarge  = errors.New("serve: run exceeds the per-run particle cap")
+	ErrClosed    = errors.New("serve: server is shutting down")
+)
+
+// NotFoundError reports an unknown run ID.
+type NotFoundError struct{ ID string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("serve: no run %q", e.ID) }
+
+// ConflictError reports a lifecycle action invalid in the run's current
+// state (e.g. pausing a queued run).
+type ConflictError struct {
+	ID    string
+	State State
+	Want  string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("serve: run %s is %s (want %s)", e.ID, e.State, e.Want)
+}
+
+// Server multiplexes concurrent simulations over one process. Create with
+// New, serve Handler(), stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	ctx    context.Context // parent of every run context
+	cancel context.CancelFunc
+
+	queue chan *Run
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	seq    int
+	runs   map[string]*Run
+
+	// Service-level counters (GET /metrics).
+	admitted int64
+	rejected map[string]int64 // reason -> count
+}
+
+// New creates the service and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg.normalize()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o777); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *Run, cfg.QueueDepth),
+		runs:   make(map[string]*Run),
+		rejected: map[string]int64{
+			"invalid": 0, "too_large": 0, "queue_full": 0,
+		},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Shutdown stops admission, cancels every live run and waits (bounded by
+// ctx) for the workers to finish tearing them down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.cancel()     // every run context is a child: running engines stop at the next batch
+	close(s.queue) // workers drain the queue (canceled runs fall through) and exit
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit validates and admits a run, returning its ID. The error is one of
+// the admission errors or a validation error.
+func (s *Server) Submit(spec RunSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		s.countReject("invalid")
+		return "", err
+	}
+	if n := spec.Particles(); n > s.cfg.MaxParticles {
+		s.countReject("too_large")
+		return "", fmt.Errorf("%w: %d particles > cap %d", ErrTooLarge, n, s.cfg.MaxParticles)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	// The nonblocking send happens under s.mu: Shutdown flips closed under
+	// the same mutex before closing the queue, so a send can never race the
+	// close.
+	s.seq++
+	id := fmt.Sprintf("r%06d", s.seq)
+	r := newRun(id, spec, filepath.Join(s.cfg.Dir, id), s.ctx)
+	select {
+	case s.queue <- r:
+		s.runs[id] = r
+		s.admitted++
+		s.mu.Unlock()
+		return id, nil
+	default:
+		s.rejected["queue_full"]++
+		s.mu.Unlock()
+		r.cancel()
+		return "", ErrQueueFull
+	}
+}
+
+func (s *Server) countReject(reason string) {
+	s.mu.Lock()
+	s.rejected[reason]++
+	s.mu.Unlock()
+}
+
+// Get returns the run with the given ID.
+func (s *Server) Get(id string) (*Run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return nil, &NotFoundError{ID: id}
+	}
+	return r, nil
+}
+
+// List returns every run's status, ordered by ID.
+func (s *Server) List() []RunStatus {
+	s.mu.Lock()
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ID < runs[j].ID })
+	out := make([]RunStatus, len(runs))
+	for i, r := range runs {
+		out[i] = r.snapshot()
+	}
+	return out
+}
+
+// Pause asks a running run to checkpoint and park at the next batch
+// boundary. The transition is asynchronous: the run reports StatePaused
+// once the checkpoint is written and the engine released.
+func (s *Server) Pause(id string) error {
+	r, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateRunning {
+		return &ConflictError{ID: id, State: r.state, Want: "running"}
+	}
+	r.pauseRq = true
+	return nil
+}
+
+// Resume re-admits a paused run through the queue; it restores from its
+// own checkpoint directory when a worker picks it up.
+func (s *Server) Resume(id string) error {
+	r, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Lock order is always s.mu then r.mu; the send stays under s.mu for
+	// the same reason as in Submit.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StatePaused {
+		return &ConflictError{ID: id, State: r.state, Want: "paused"}
+	}
+	select {
+	case s.queue <- r:
+		r.state = StateQueued
+		r.pauseRq = false
+		r.notify()
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Cancel terminates a run in any non-terminal state. Queued runs are
+// skipped by the workers; running runs stop at the next batch boundary;
+// paused runs just flip to canceled.
+func (s *Server) Cancel(id string) error {
+	r, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	r.cancel()
+	// A queued or paused run has no worker to move it to the terminal
+	// state; do it here. A running run's worker observes the canceled
+	// context and finalizes the engine itself.
+	r.mu.Lock()
+	if r.state == StateQueued || r.state == StatePaused {
+		r.state = StateCanceled
+		r.notify()
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// worker executes queued runs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for r := range s.queue {
+		s.execute(r)
+	}
+}
+
+// execute drives one run from admission (or resume) to parked or terminal
+// state. Any panic escaping the engine (e.g. an unsupervised serial run's
+// driver-side panic) is confined to this run: it becomes StateFailed, the
+// worker survives, and no neighbor is touched.
+func (s *Server) execute(r *Run) {
+	if r.ctx.Err() != nil {
+		r.setState(StateCanceled, nil)
+		return
+	}
+
+	defer func() {
+		if v := recover(); v != nil {
+			r.setState(StateFailed, fmt.Errorf("serve: run panicked: %v", v))
+		}
+	}()
+
+	resuming := r.snapshotDone() > 0 || r.hasCheckpoint()
+	var eng permcell.Engine
+	var err error
+	opts, err := r.Spec.options(r.dir, r.sab, r.onStep, nil)
+	if err != nil {
+		r.setState(StateFailed, err)
+		return
+	}
+	if resuming {
+		eng, err = permcell.Restore(r.dir, opts...)
+	} else {
+		eng, err = r.Spec.build(opts)
+	}
+	if err != nil {
+		r.setState(StateFailed, err)
+		return
+	}
+	r.setState(StateRunning, nil)
+
+	finish := func(final State, ferr error) {
+		if _, rerr := eng.Result(); rerr != nil && ferr == nil && final != StateCanceled {
+			final, ferr = StateFailed, rerr
+		}
+		if rep := permcell.SupervisionReport(eng); rep != nil {
+			r.recordSupervision(rep)
+		}
+		r.setState(final, ferr)
+	}
+
+	for {
+		r.mu.Lock()
+		done := r.done
+		pause := r.pauseRq
+		r.pauseRq = false
+		r.mu.Unlock()
+
+		if r.ctx.Err() != nil {
+			finish(StateCanceled, nil)
+			return
+		}
+		if pause {
+			if err := permcell.CheckpointNow(eng); err != nil {
+				finish(StateFailed, fmt.Errorf("serve: pause checkpoint: %w", err))
+				return
+			}
+			// Park: release the engine (and its PE goroutines); the
+			// supervision totals so far stay with the run.
+			if rep := permcell.SupervisionReport(eng); rep != nil {
+				r.recordSupervision(rep)
+			}
+			if _, rerr := eng.Result(); rerr != nil {
+				r.setState(StateFailed, rerr)
+				return
+			}
+			r.setState(StatePaused, nil)
+			return
+		}
+		if done >= r.Spec.Steps {
+			finish(StateCompleted, nil)
+			return
+		}
+
+		batch := s.cfg.StepBatch
+		if rest := r.Spec.Steps - done; rest < batch {
+			batch = rest
+		}
+		if err := eng.Step(batch); err != nil {
+			finish(StateFailed, err)
+			return
+		}
+		r.mu.Lock()
+		r.done += batch
+		r.notify()
+		r.mu.Unlock()
+	}
+}
+
+func (r *Run) snapshotDone() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// hasCheckpoint reports whether the run's directory already holds a
+// checkpoint (a paused run that never stepped still wrote its pause
+// checkpoint; a fresh run's directory is empty).
+func (r *Run) hasCheckpoint() bool {
+	_, err := os.Stat(filepath.Join(r.dir, checkpoint.LatestName))
+	return err == nil
+}
+
+// recordSupervision folds one engine incarnation's supervision totals into
+// the run's cumulative recovery counters (each incarnation — one per
+// pause/resume cycle — reports from zero, so summation is exact).
+func (r *Run) recordSupervision(rep *permcell.SupervisorReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.supervisor = rep
+	if r.cum.Recovery == nil {
+		r.cum.Recovery = &metrics.Recovery{}
+	}
+	rec := r.cum.Recovery
+	rec.Panics += int64(rep.RankFailures)
+	rec.GuardViolations += int64(rep.GuardViolations)
+	rec.Deadlocks += int64(rep.Deadlocks)
+	rec.Rollbacks += int64(rep.Rollbacks)
+	rec.Retries += int64(rep.Retries)
+	rec.StepsReplayed += int64(rep.StepsReplayed)
+}

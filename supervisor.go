@@ -311,13 +311,30 @@ func abandon(eng Engine) {
 	}()
 }
 
-func (s *supervisedEngine) Stats() []StepStats { return s.stats }
+// Stats returns a copy of the accumulated, replay-deduplicated records,
+// taken under the admission mutex: the inner engine's rank-0 goroutine
+// appends through admit while a batch is in flight, so handing out the
+// internal slice (as this method once did) let a concurrent reader — e.g.
+// a server's stream goroutine — alias and even corrupt supervisor state
+// mid-run.
+func (s *supervisedEngine) Stats() []StepStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return copyStats(s.stats)
+}
 
 func (s *supervisedEngine) Result() (*Result, error) {
 	if s.finished {
 		return s.res, s.resErr
 	}
 	s.finished = true
+	// The accumulated slice is handed over to the Result (the Engine
+	// contract: no appends happen after Result); it is read under the
+	// admission mutex so a stale incarnation's last admit cannot race the
+	// handover.
+	s.mu.Lock()
+	stats := s.stats
+	s.mu.Unlock()
 	if s.dead != nil {
 		// Degraded completion: the accumulated prefix is the partial Result;
 		// the terminal error (a *RetryBudgetError when the budget ran out)
@@ -325,14 +342,14 @@ func (s *supervisedEngine) Result() (*Result, error) {
 		if s.inner != nil {
 			abandon(s.inner)
 		}
-		s.res = &Result{Stats: s.stats}
+		s.res = &Result{Stats: stats}
 		s.resErr = s.dead
 		return s.res, s.resErr
 	}
 	res, err := s.inner.Result()
 	if res != nil {
 		r := *res
-		r.Stats = s.stats // replay-deduplicated trace, not the last incarnation's
+		r.Stats = stats // replay-deduplicated trace, not the last incarnation's
 		s.res = &r
 	}
 	s.resErr = err
