@@ -132,6 +132,9 @@ func (w *ckptWriter) save(step int, msgs, bytes int64, frames []checkpoint.Frame
 // counters carry over.
 func Restore(path string, opts ...Option) (Engine, error) {
 	o := buildOptions(opts)
+	if err := checkTransport(o, true); err != nil {
+		return nil, err
+	}
 	if o.supervisor != nil {
 		// Peek at the meta for the absolute start step, then hand the
 		// supervisor a rebuilder so rollbacks can reconstruct the engine.
@@ -240,6 +243,18 @@ func restoreParallel(meta *checkpoint.Meta, st *checkpoint.EngineState, o Option
 		Seed: meta.Seed, Dt: meta.Dt,
 		Wells: meta.Wells, WellK: meta.WellK, Hysteresis: meta.Hysteresis,
 		StatsEvery: o.statsEvery, Shards: meta.Shards, Metrics: o.metrics,
+	}
+	// Restoring on the tcp transport is the elastic-rescale path: the
+	// checkpoint fixes the logical rank count P, while the worker-process
+	// count comes from the Transport — so a run checkpointed at one
+	// process count resumes at another (or moves between transports)
+	// with a bit-identical continuation.
+	if o.transport.Kind == TransportTCP {
+		eng, err := newDistributed(spec, st, o)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelEngine{eng: eng, ckpt: newCkptWriter(o, metaTemplate(meta))}, nil
 	}
 	// The regenerated system supplies the box, grid and potentials only:
 	// the restore path repopulates every PE from its frame instead of

@@ -11,6 +11,7 @@
 //	      [-o out.csv] [-metrics phases.jsonl] [-prom metrics.prom]
 //	      [-checkpoint-every 500] [-checkpoint-dir ckpt] [-resume ckpt]
 //	      [-max-retries 3] [-backoff 50ms]
+//	      [-transport chan] [-ranks 2] [-mdrank auto]
 //	      [-cpuprofile cpu.pprof] [-trace trace.out]
 //
 // -balancer selects the load-balancing strategy: "permcell" (the paper's
@@ -43,6 +44,15 @@
 // ignored, so the resumed trajectory is bit-identical to the uninterrupted
 // run.
 //
+// -transport selects where the PE ranks live: "chan" (goroutines in this
+// process, the default) or "tcp" (rank blocks spread over worker processes
+// speaking the frame protocol on loopback). With tcp, -ranks sets the
+// worker-process count (default: one per PE) and -mdrank locates the worker
+// binary — "auto" looks for an mdrank sibling of the mdrun executable and
+// falls back to in-process goroutine workers (same protocol, real sockets)
+// when none is found. Either transport produces bit-identical CSV/JSONL
+// traces for the same run identity; only the transport counters differ.
+//
 // -metrics enables the per-phase observability layer and streams one JSON
 // record per step (phase wall times, message/byte counts, imbalance gauges
 // and the f(m,n) bound residual; "-" = stdout). -prom writes a cumulative
@@ -59,6 +69,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
@@ -135,6 +146,9 @@ func main() {
 	resume := flag.String("resume", "", "resume from a checkpoint file or directory")
 	maxRetries := flag.Int("max-retries", -1, "enable the self-healing supervisor with this retry budget (requires -checkpoint-dir; -1 = off)")
 	backoff := flag.Duration("backoff", 0, "initial supervisor retry backoff, doubling per attempt (0 = default 50ms)")
+	transportKind := flag.String("transport", "chan", `rank transport: "chan" (in-process goroutines) or "tcp" (multi-process workers)`)
+	ranks := flag.Int("ranks", 0, "worker-process count for -transport=tcp (0 = one per PE)")
+	mdrank := flag.String("mdrank", "auto", `mdrank worker binary for -transport=tcp ("auto" = sibling of mdrun, falling back to in-process workers; "" = in-process workers)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
@@ -294,6 +308,7 @@ func main() {
 		}
 		if collect {
 			cum.Add(st.StepWallAve, st.Phases)
+			cum.ObserveTransport(st.SentFrames, st.SentBytes, st.ResendCount)
 		}
 		if jsonl != nil {
 			rec := metrics.NewStepRecord(st.Step, st.Phases,
@@ -303,6 +318,9 @@ func main() {
 				st.Conc.C0OverC, st.Conc.NFactor, *m)
 			rec.TotalEnergy = st.TotalEnergy
 			rec.Temperature = st.Temperature
+			rec.SentFrames = st.SentFrames
+			rec.SentBytes = st.SentBytes
+			rec.ResendCount = st.ResendCount
 			if err := jsonl.Write(rec); err != nil && writeErr == nil {
 				writeErr = err
 			}
@@ -327,6 +345,19 @@ func main() {
 	}
 	if *ckptDir != "" {
 		opts = append(opts, permcell.WithCheckpoint(*ckptEvery, *ckptDir))
+	}
+	switch *transportKind {
+	case "", permcell.TransportChan:
+		// In-process goroutines: the default engine path.
+	case permcell.TransportTCP:
+		opts = append(opts, permcell.WithTransport(permcell.Transport{
+			Kind:   permcell.TransportTCP,
+			Procs:  *ranks,
+			Worker: resolveWorker(*mdrank),
+		}))
+	default:
+		fmt.Fprintf(os.Stderr, "mdrun: unknown -transport %q (want chan or tcp)\n", *transportKind)
+		os.Exit(1)
 	}
 	if *maxRetries >= 0 {
 		opts = append(opts, permcell.WithSupervisor(permcell.SupervisorPolicy{
@@ -410,6 +441,26 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mdrun: N=%d balancer=%s shards=%d msgs=%d bytes=%d\n",
 		res.Final.Len(), permcell.BalancerSpec(bal), *shards, res.CommMsgs, res.CommBytes)
+}
+
+// resolveWorker maps the -mdrank flag to a Transport.Worker path. "auto"
+// prefers an mdrank binary installed next to the running mdrun executable
+// (the layout `go build -o bin ./cmd/...` produces) and degrades to ""
+// — in-process goroutine workers over real sockets — so `go run ./cmd/mdrun
+// -transport=tcp` works without a separate build step.
+func resolveWorker(spec string) string {
+	if spec != "auto" {
+		return spec
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return ""
+	}
+	cand := filepath.Join(filepath.Dir(exe), "mdrank")
+	if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+		return cand
+	}
+	return ""
 }
 
 // drive mirrors permcell.RunEngine, adding one behavior: on cancellation it

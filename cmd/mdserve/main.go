@@ -29,6 +29,7 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 64)")
 	maxParticles := flag.Int("max-particles", 0, "per-run particle cap (0 = 200000)")
 	batch := flag.Int("batch", 0, "steps per control-check batch (0 = 8)")
+	retention := flag.Duration("retention", 0, "reap terminal runs (and their checkpoints) this long after they finish (0 = keep forever)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		QueueDepth:   *queue,
 		MaxParticles: *maxParticles,
 		StepBatch:    *batch,
+		Retention:    *retention,
 	})
 	if err != nil {
 		log.Fatalf("mdserve: %v", err)

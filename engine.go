@@ -11,6 +11,7 @@ import (
 	"permcell/internal/core"
 	"permcell/internal/corestatic"
 	"permcell/internal/decomp"
+	"permcell/internal/distrib"
 	"permcell/internal/experiments"
 	"permcell/internal/mdserial"
 	"permcell/internal/potential"
@@ -59,12 +60,65 @@ const (
 // goroutines idle awaiting the first Step.
 func New(m, p int, rho float64, opts ...Option) (Engine, error) {
 	o := buildOptions(opts)
+	if err := checkTransport(o, true); err != nil {
+		return nil, err
+	}
 	if o.supervisor != nil {
 		return supervised(o, 0, func(oin Options) (Engine, error) {
 			return newParallel(m, p, rho, oin)
 		})
 	}
 	return newParallel(m, p, rho, o)
+}
+
+// checkTransport validates the WithTransport selection against the engine
+// kind and option set at construction time, so an unsupported combination
+// fails loudly instead of silently running in-process.
+func checkTransport(o Options, parallel bool) error {
+	switch o.transport.Kind {
+	case "", TransportChan:
+		return nil
+	case TransportTCP:
+		if !parallel {
+			return fmt.Errorf("permcell: the tcp transport supports only the parallel engine (New)")
+		}
+		if o.supervisor != nil {
+			return fmt.Errorf("permcell: WithSupervisor is not supported on the tcp transport")
+		}
+		if o.sabotage != nil {
+			return fmt.Errorf("permcell: WithSabotage is not supported on the tcp transport")
+		}
+		return nil
+	default:
+		return fmt.Errorf("permcell: unknown transport kind %q (want %q or %q)",
+			o.transport.Kind, TransportChan, TransportTCP)
+	}
+}
+
+// newDistributed builds the multi-process engine: an in-process
+// coordinator dealing rank blocks to TCP-connected worker processes (or
+// goroutine-hosted workers), each running a core.Partial. st, when
+// non-nil, resumes from a checkpoint — possibly at a different worker
+// count than the one that wrote it (elastic rescaling: the logical rank
+// count P is fixed by the run identity; only the hosting changes).
+func newDistributed(spec experiments.RunSpec, st *checkpoint.EngineState, o Options) (coreEngine, error) {
+	ws := distrib.WireSpec{
+		M: spec.M, P: spec.P, Rho: spec.Rho,
+		Balancer: balance.Encode(spec.Balancer),
+		Seed:     spec.Seed, Dt: spec.Dt,
+		Wells: spec.Wells, WellK: spec.WellK, Hysteresis: spec.Hysteresis,
+		StatsEvery: spec.StatsEvery, Shards: spec.Shards, Metrics: spec.Metrics,
+		Watchdog: o.watchdog, Faults: o.faults, Guard: o.guard,
+		Restore: st,
+	}
+	eng, err := distrib.Start(ws, distrib.Config{
+		Procs: o.transport.Procs, Worker: o.transport.Worker, Addr: o.transport.Addr,
+		OnStep: o.onStep, DiscardStats: o.discard,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("permcell: %w", err)
+	}
+	return eng, nil
 }
 
 // newParallel builds the parallel engine from a resolved Options value (the
@@ -74,6 +128,19 @@ func newParallel(m, p int, rho float64, o Options) (Engine, error) {
 		M: m, P: p, Rho: rho, DLB: o.dlb, Balancer: o.balancer, Seed: o.seed, Dt: o.dt,
 		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
 		StatsEvery: o.statsEvery, Shards: o.shards, Metrics: o.metrics,
+	}
+	meta := checkpoint.Meta{
+		Kind: checkpoint.KindDLB, M: m, P: p, Rho: rho,
+		DLB: o.dlb, Balancer: balance.Encode(o.balancer),
+		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
+		Seed: o.seed, Dt: o.dtOrDefault(), Shards: o.shards, StatsEvery: o.statsEvery,
+	}
+	if o.transport.Kind == TransportTCP {
+		eng, err := newDistributed(spec, nil, o)
+		if err != nil {
+			return nil, err
+		}
+		return &parallelEngine{eng: eng, ckpt: newCkptWriter(o, meta)}, nil
 	}
 	cfg, sys, _, err := spec.Build()
 	if err != nil {
@@ -88,12 +155,6 @@ func newParallel(m, p int, rho float64, o Options) (Engine, error) {
 	eng, err := core.NewEngine(cfg, sys)
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
-	}
-	meta := checkpoint.Meta{
-		Kind: checkpoint.KindDLB, M: m, P: p, Rho: rho,
-		DLB: o.dlb, Balancer: balance.Encode(o.balancer),
-		Wells: o.wells, WellK: o.wellK, Hysteresis: o.hysteresis,
-		Seed: o.seed, Dt: o.dtOrDefault(), Shards: o.shards, StatsEvery: o.statsEvery,
 	}
 	return &parallelEngine{eng: eng, ckpt: newCkptWriter(o, meta)}, nil
 }
@@ -145,9 +206,21 @@ func guardStep(finished bool, n int) error {
 	return nil
 }
 
-// parallelEngine adapts core.Engine to the facade interface.
+// coreEngine is the stepwise backend surface shared by the in-process
+// core.Engine and the multi-process distrib.Engine; parallelEngine adapts
+// either to the facade interface without knowing which transport hosts
+// the ranks.
+type coreEngine interface {
+	Step(n int) error
+	AbsStep() int
+	Snapshot() (*checkpoint.EngineState, error)
+	Stats() []StepStats
+	Finish() (*Result, error)
+}
+
+// parallelEngine adapts a parallel backend to the facade interface.
 type parallelEngine struct {
-	eng      *core.Engine
+	eng      coreEngine
 	ckpt     ckptWriter
 	finished bool
 }
@@ -233,6 +306,9 @@ func (o Options) dtOrDefault() float64 {
 // StepStats fields; DLB-only fields stay zero.
 func NewStatic(shape Shape, nc, p int, rho float64, opts ...Option) (Engine, error) {
 	o := buildOptions(opts)
+	if err := checkTransport(o, false); err != nil {
+		return nil, err
+	}
 	if o.supervisor != nil {
 		return supervised(o, 0, func(oin Options) (Engine, error) {
 			return newStatic(shape, nc, p, rho, oin)
@@ -354,6 +430,9 @@ func (e *staticEngine) Result() (*Result, error) {
 // are ignored.
 func NewSerial(nc int, rho float64, opts ...Option) (Engine, error) {
 	o := buildOptions(opts)
+	if err := checkTransport(o, false); err != nil {
+		return nil, err
+	}
 	if o.supervisor != nil {
 		return supervised(o, 0, func(oin Options) (Engine, error) {
 			return newSerial(nc, rho, oin)

@@ -31,12 +31,18 @@ type message struct {
 }
 
 // World is a group of ranks that can communicate. Create one per parallel
-// run, then obtain a Comm per rank.
+// run, then obtain a Comm per rank. A full world (NewWorld) hosts every
+// rank in-process; a partial world (NewPartialWorld) hosts a subset and
+// routes the rest through a Remote — the inbox slice keeps one slot per
+// logical rank with nil marking the remote ones.
 type World struct {
 	size  int
 	inbox []chan message
 	start time.Time
-	bar   *barrier
+	bar   *barrier // nil on partial worlds
+
+	local  []int  // ranks hosted in this process, ascending
+	remote Remote // nil on full worlds
 
 	inboxCap int
 	fs       *faultState
@@ -96,6 +102,10 @@ func NewWorld(p int, opts ...Option) (*World, error) {
 		inbox: make([]chan message, p),
 		start: time.Now(),
 		bar:   newBarrier(p),
+		local: make([]int, p),
+	}
+	for i := range w.local {
+		w.local[i] = i
 	}
 	for _, opt := range opts {
 		opt(w)
@@ -136,6 +146,9 @@ func (w *World) Stats() (msgs, bytes int64) {
 // that rank itself via Comm.Quiesced.
 func (w *World) Quiesced() error {
 	for r, in := range w.inbox {
+		if in == nil {
+			continue // remote rank: its hosting process checks it
+		}
 		if n := len(in); n > 0 {
 			return fmt.Errorf("comm: not quiesced: rank %d inbox holds %d undelivered message(s)", r, n)
 		}
@@ -163,12 +176,13 @@ func (c *Comm) Quiesced() error {
 	return nil
 }
 
-// Run spawns fn on every rank as a goroutine and blocks until all return.
-// It is the moral equivalent of mpirun.
+// Run spawns fn on every locally-hosted rank as a goroutine and blocks
+// until all return. It is the moral equivalent of mpirun: on a full world
+// that is every rank, on a partial world just this process's share.
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
-	wg.Add(w.size)
-	for r := 0; r < w.size; r++ {
+	wg.Add(len(w.local))
+	for _, r := range w.local {
 		go func(rank int) {
 			defer wg.Done()
 			c := w.Comm(rank)
@@ -187,6 +201,9 @@ func (w *World) Run(fn func(c *Comm)) {
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, w.size))
+	}
+	if w.inbox[rank] == nil {
+		panic(fmt.Sprintf("comm: rank %d is not hosted in this process", rank))
 	}
 	c := &Comm{w: w, rank: rank}
 	if w.track != nil {
@@ -291,8 +308,13 @@ func (c *Comm) SendRecv(dst, sendTag int, sendData any, src, recvTag int) any {
 	return c.Recv(src, recvTag)
 }
 
-// Barrier blocks until every rank has entered it.
+// Barrier blocks until every rank has entered it. It is unavailable on
+// partial worlds (it would only synchronize the local subset); the engine
+// protocols are barrier-free by design.
 func (c *Comm) Barrier() {
+	if c.w.bar == nil {
+		panic("comm: Barrier is not supported on a partial world")
+	}
 	c.opTick()
 	c.flushHeld()
 	if c.tr != nil {

@@ -264,12 +264,17 @@ func (c *Comm) trySend(dst, tag int, data any, size int64) error {
 	return nil
 }
 
-// enqueue places m into dst's inbox. If the inbox is full it first flushes
+// enqueue places m into dst's inbox, or hands it to the Remote when dst
+// lives in another process. If a local inbox is full it first flushes
 // every held message on every link of this rank, so that a sender never
 // blocks while holding back messages a peer may be waiting for.
 func (c *Comm) enqueue(dst int, m message) {
 	c.w.msgs.Add(1)
 	c.w.bytes.Add(m.size)
+	if c.w.inbox[dst] == nil {
+		c.deliverRemote(dst, m)
+		return
+	}
 	select {
 	case c.w.inbox[dst] <- m:
 		return
@@ -301,10 +306,23 @@ func (c *Comm) flushHeld() {
 			// Bypass the full-inbox flush (we are the flush): plain send.
 			c.w.msgs.Add(1)
 			c.w.bytes.Add(h.m.size)
+			if c.w.inbox[dst] == nil {
+				c.deliverRemote(dst, h.m)
+				continue
+			}
 			c.w.inbox[dst] <- h.m
 		}
 	}
 }
+
+// FlushFaults delivers every message the fault layer is holding back for
+// reordering on this rank's links. A rank that goes idle — acking a
+// batch boundary to a driver and waiting for the next command — must
+// call it first: a held message strands a peer that is still blocked
+// receiving it, and with the holder no longer sending (the flush
+// triggers below only fire inside comm operations) the run deadlocks.
+// No-op without a fault plan or held messages.
+func (c *Comm) FlushFaults() { c.flushHeld() }
 
 // SendReliable is Send over an unreliable link: under a fault plan each
 // delivery attempt may fail transiently, in which case it backs off

@@ -1,0 +1,144 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Remote is the delivery seam for partial worlds: messages addressed to
+// ranks that are not hosted in this process are handed to it instead of a
+// local inbox. The TCP backend implements it by framing the message onto
+// the coordinator connection; tests implement it with in-memory pairs.
+//
+// Deliver is called from the sending rank's goroutine after the fault
+// layer has already applied its jitter/reorder/failure decisions, so a
+// Remote sees exactly the post-chaos delivery stream. Implementations
+// must preserve per-(src,tag) call order on delivery — the substrate's
+// FIFO matching contract depends on it.
+type Remote interface {
+	Deliver(src, dst, tag int, data any, size int64) error
+	// Stats returns cumulative frames and wire bytes sent through this
+	// remote (the source for the transport counters in StepStats).
+	Stats() (frames, bytes int64)
+}
+
+// TransportStats is the per-transport traffic view surfaced in step
+// stats: frames and bytes that crossed the transport boundary, plus
+// fault-layer resends. On an in-process world every message is a
+// "frame" and bytes are the payload-size hints; on a partial world the
+// numbers come from the Remote (real wire traffic of this process).
+type TransportStats struct {
+	Frames  int64
+	Bytes   int64
+	Resends int64
+}
+
+// NewPartialWorld returns a world of p logical ranks of which only the
+// given subset is hosted in this process. Messages to non-local ranks
+// are routed through remote; messages for local ranks arriving from
+// other processes are fed in with Inject. Collectives work unchanged
+// (they are built on point-to-point sends), but Barrier is unavailable:
+// it would only synchronize the local subset and silently break SPMD
+// semantics, so it panics on a partial world.
+func NewPartialWorld(p int, local []int, remote Remote, opts ...Option) (*World, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: world size must be >= 1, got %d", p)
+	}
+	if remote == nil {
+		return nil, fmt.Errorf("comm: partial world requires a Remote")
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("comm: partial world hosts no ranks")
+	}
+	w := &World{
+		size:   p,
+		inbox:  make([]chan message, p),
+		start:  time.Now(),
+		remote: remote,
+	}
+	seen := make([]bool, p)
+	for _, r := range local {
+		if r < 0 || r >= p {
+			return nil, fmt.Errorf("comm: local rank %d out of range [0,%d)", r, p)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("comm: local rank %d listed twice", r)
+		}
+		seen[r] = true
+	}
+	w.local = append([]int(nil), local...)
+	sort.Ints(w.local)
+	for _, opt := range opts {
+		opt(w)
+	}
+	capacity := w.inboxCap
+	if capacity == 0 {
+		capacity = 64 * p
+		if capacity < 256 {
+			capacity = 256
+		}
+	}
+	for _, r := range w.local {
+		w.inbox[r] = make(chan message, capacity)
+	}
+	if w.fs != nil && w.track == nil {
+		w.track = newTracker(p)
+		for i := range w.track.ranks {
+			w.track.ranks[i].t = w.track
+		}
+	}
+	return w, nil
+}
+
+// Local returns the ranks hosted in this process, ascending.
+func (w *World) Local() []int {
+	return append([]int(nil), w.local...)
+}
+
+// Inject delivers a message that arrived over the transport into a local
+// rank's inbox. It does NOT bump the msgs/bytes counters: traffic is
+// counted once, on the sending side, so summing per-process Stats over
+// all processes matches the single-process totals bit for bit (the
+// checkpoint CommMsgs/CommBytes identity depends on this). Inject blocks
+// if the inbox is full, exactly like a local sender would.
+func (w *World) Inject(src, dst, tag int, data any, size int64) error {
+	if dst < 0 || dst >= w.size {
+		return fmt.Errorf("comm: inject: rank %d out of range [0,%d)", dst, w.size)
+	}
+	if w.inbox[dst] == nil {
+		return fmt.Errorf("comm: inject: rank %d is not hosted in this process", dst)
+	}
+	w.inbox[dst] <- message{src: src, tag: tag, data: data, size: size}
+	return nil
+}
+
+// TransportStats returns this process's transport traffic counters.
+func (w *World) TransportStats() TransportStats {
+	var ts TransportStats
+	if w.remote != nil {
+		ts.Frames, ts.Bytes = w.remote.Stats()
+	} else {
+		ts.Frames = w.msgs.Load()
+		ts.Bytes = w.bytes.Load()
+	}
+	if w.fs != nil {
+		ts.Resends = w.fs.retries.Load()
+	}
+	return ts
+}
+
+// TransportStats returns the world's transport traffic counters (rank 0
+// stamps them into StepStats at each census).
+func (c *Comm) TransportStats() TransportStats { return c.w.TransportStats() }
+
+// deliverRemote hands a message for a non-local rank to the Remote. A
+// delivery failure means the transport itself is gone (peer process died,
+// socket closed), which — like a full-world channel send that can never
+// complete — has no local recovery: panic and let the supervisor or the
+// coordinator surface it.
+func (c *Comm) deliverRemote(dst int, m message) {
+	if err := c.w.remote.Deliver(m.src, dst, m.tag, m.data, m.size); err != nil {
+		panic(fmt.Sprintf("comm: remote delivery rank %d -> %d (tag %d) failed: %v", m.src, dst, m.tag, err))
+	}
+}

@@ -198,6 +198,16 @@ type StepStats struct {
 
 	// Conc is the concentration census (C_0/C and n, Section 4).
 	Conc conc.Stats
+
+	// SentFrames, SentBytes and ResendCount are the cumulative transport
+	// traffic counters at this step: messages/bytes that crossed the
+	// transport boundary plus fault-layer resends. On the in-process
+	// transport every message is a frame; on TCP they count real wire
+	// frames summed over all worker processes. Transport-dependent by
+	// nature, so they are excluded from cross-transport trace identity.
+	SentFrames  int64
+	SentBytes   int64
+	ResendCount int64
 }
 
 // Imbalance returns (Fmax-Fmin)/Fave on the work metric, the quantity whose

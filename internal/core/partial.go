@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"permcell/internal/checkpoint"
+	"permcell/internal/comm"
+	"permcell/internal/potential"
+	"permcell/internal/supervise"
+	"permcell/internal/workload"
+)
+
+// Partial is one worker process's share of a multi-process Engine: the
+// same stepwise PE protocol as Engine, but spawning only the locally
+// hosted ranks of a partial comm world. Messages to remote ranks flow
+// through the world's Remote; messages from them are fed in with
+// World().Inject. The distrib coordinator drives one Partial per worker
+// process in lockstep, which reproduces the full Engine bit for bit —
+// the PEs execute identical code over an identical delivery contract.
+//
+// Not safe for concurrent use. Finish must be called exactly once.
+type Partial struct {
+	cfg     Config
+	world   *comm.World
+	res     *Result
+	local   []int
+	cmd     map[int]chan int
+	ack     chan struct{}
+	runDone chan struct{}
+	trap    *supervise.Trap
+	snap    []checkpoint.Frame // full P slots; only local ranks written
+	taken   int                // stats records already handed out
+	stepped int
+	err     error
+	done    bool
+}
+
+// NewPartial validates cfg and starts the PE goroutines for the given
+// local ranks. Exactly like NewEngine, the PEs compute step-0 forces
+// (which communicates across processes) and then idle awaiting commands.
+func NewPartial(cfg Config, sys workload.System, local []int, remote comm.Remote) (*Partial, error) {
+	cfg.normalize()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ext == nil {
+		cfg.Ext = potential.NoField{}
+	}
+	if cfg.StatsEvery <= 0 {
+		cfg.StatsEvery = 1
+	}
+	layout, err := cfg.Layout()
+	if err != nil {
+		return nil, err
+	}
+	var opts []comm.Option
+	if cfg.InboxCap > 0 {
+		opts = append(opts, comm.WithInboxCapacity(cfg.InboxCap))
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, comm.WithFaults(*cfg.Faults))
+	}
+	if cfg.Watchdog > 0 {
+		opts = append(opts, comm.WithTracking())
+	}
+	world, err := comm.NewPartialWorld(cfg.P, local, remote, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	hosts, err := restoreHosts(layout, cfg.Restore)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Partial{
+		cfg:     cfg,
+		world:   world,
+		res:     &Result{M: layout.M},
+		local:   world.Local(),
+		cmd:     make(map[int]chan int, len(local)),
+		ack:     make(chan struct{}, len(local)),
+		runDone: make(chan struct{}),
+		trap:    supervise.NewTrap(),
+		snap:    make([]checkpoint.Frame, cfg.P),
+	}
+	if cfg.Restore != nil {
+		p.stepped = 0 // AbsStep bookkeeping lives in the coordinator
+	}
+	for _, r := range p.local {
+		p.cmd[r] = make(chan int, 1)
+	}
+	go func() {
+		defer close(p.runDone)
+		world.Run(func(c *comm.Comm) {
+			defer p.trap.Catch(c.Rank())
+			newPE(c, &p.cfg, layout, sys, hosts).runStepwise(p.cmd[c.Rank()], p.ack, p.res, p.snap)
+		})
+	}()
+	return p, nil
+}
+
+// World exposes the partial world for message injection and traffic
+// accounting by the transport layer.
+func (p *Partial) World() *comm.World { return p.world }
+
+// command pushes v to every local rank and awaits their acks under the
+// watchdog and the panic trap.
+func (p *Partial) command(v int) error {
+	if p.err != nil {
+		return p.err
+	}
+	if terr := p.trap.Err(); terr != nil {
+		p.err = terr
+		return terr
+	}
+	if p.done {
+		return fmt.Errorf("core: command after Finish")
+	}
+	for _, r := range p.local {
+		p.cmd[r] <- v
+	}
+	done := make(chan struct{})
+	go func() {
+		for range p.local {
+			<-p.ack
+		}
+		close(done)
+	}()
+	if err := awaitBatch(p.world, p.cfg.Watchdog, done, p.trap); err != nil {
+		p.err = err
+		return err
+	}
+	return nil
+}
+
+// Step advances the local ranks by n time steps. The coordinator issues
+// the same Step to every worker; the cross-process exchanges inside the
+// batch synchronize the ranks exactly as goroutine scheduling does
+// in-process.
+func (p *Partial) Step(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative step count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if err := p.command(n); err != nil {
+		return err
+	}
+	p.stepped += n
+	return nil
+}
+
+// TakeStats returns the step records appended since the last call. Only
+// the process hosting rank 0 ever returns records (rank 0 folds the
+// census); the coordinator stitches them into the global trace.
+func (p *Partial) TakeStats() []StepStats {
+	out := append([]StepStats(nil), p.res.Stats[p.taken:]...)
+	p.taken = len(p.res.Stats)
+	return out
+}
+
+// SnapshotLocal captures the local ranks' checkpoint frames at the
+// current batch boundary and verifies local quiescence. The coordinator
+// assembles the per-process frame sets into one EngineState; the global
+// msgs/bytes continuation is its job too (Stats gives it this process's
+// share).
+func (p *Partial) SnapshotLocal() ([]checkpoint.Frame, error) {
+	if err := p.command(cmdSnapshot); err != nil {
+		return nil, err
+	}
+	if err := p.world.Quiesced(); err != nil {
+		return nil, err
+	}
+	out := make([]checkpoint.Frame, 0, len(p.local))
+	for _, r := range p.local {
+		out = append(out, p.snap[r])
+	}
+	return out, nil
+}
+
+// Stats returns this process's cumulative sent message and byte counts.
+func (p *Partial) Stats() (msgs, bytes int64) { return p.world.Stats() }
+
+// TransportStats returns this process's wire traffic counters.
+func (p *Partial) TransportStats() comm.TransportStats { return p.world.TransportStats() }
+
+// Finish releases the local PE goroutines and returns this process's
+// share of the Result: the final gather is a collective, so Final is
+// populated only on the process hosting rank 0. Idempotent is not needed
+// here — the worker loop calls it exactly once at KindFinish.
+func (p *Partial) Finish() (*Result, error) {
+	if p.done {
+		return nil, fmt.Errorf("core: Finish called twice")
+	}
+	p.done = true
+	if terr := p.trap.Err(); terr != nil {
+		if p.err == nil {
+			p.err = terr
+		}
+		return nil, p.err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	for _, r := range p.local {
+		p.cmd[r] <- cmdFinish
+	}
+	if werr := p.world.WatchSection(p.cfg.Watchdog, p.runDone); werr != nil {
+		p.err = werr
+		return nil, werr
+	}
+	p.res.CommMsgs, p.res.CommBytes = p.world.Stats()
+	p.res.Faults = p.world.FaultStats()
+	p.res.FaultEvents = p.world.FaultEvents()
+	return p.res, nil
+}

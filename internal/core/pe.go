@@ -255,6 +255,11 @@ func (p *pe) runStepwise(cmd <-chan int, ack chan<- struct{}, res *Result, snap 
 			step++
 			p.oneStep(step, res)
 		}
+		// Deliver anything the fault layer held back before going idle: a
+		// message held across the ack would strand a peer still receiving
+		// inside the batch, deadlocking the world (peers ack only once
+		// their own protocol drains).
+		p.c.FlushFaults()
 		ack <- struct{}{}
 	}
 	p.gatherFinal(res)
@@ -429,7 +434,7 @@ func (p *pe) balanceStep() {
 		p.moved++
 		p.dirty = true
 		out := p.extractColumn(d.Col)
-		size := int64(len(out.ps)) * 72
+		size := int64(len(out.Ps)) * 72
 		p.movedBytes += size
 		p.send(metrics.PhaseDLBTransfer, d.Dest, tagTransfer, out, size)
 	}
@@ -443,9 +448,9 @@ func (p *pe) balanceStep() {
 			}
 			p.dirty = true
 			in := p.c.Recv(nb, tagTransfer).(colTransfer)
-			for k, one := range in.ps {
+			for k, one := range in.Ps {
 				idx := p.set.AddOne(one)
-				p.set.Frc[idx] = in.frc[k]
+				p.set.Frc[idx] = in.Frc[k]
 			}
 		}
 	}
@@ -456,9 +461,11 @@ func (p *pe) balanceStep() {
 // forces from the last evaluation, which the first half kick of the move
 // step still needs (particle.One deliberately omits forces — every other
 // transfer happens at points where they are about to be recomputed).
+// Fields are exported because the payload crosses process boundaries on
+// the TCP transport (gob only encodes exported fields).
 type colTransfer struct {
-	ps  []particle.One
-	frc []vec.V
+	Ps  []particle.One
+	Frc []vec.V
 }
 
 // extractColumn removes and returns (sorted by ID) the particles currently
@@ -468,8 +475,8 @@ func (p *pe) extractColumn(col int) colTransfer {
 	var out colTransfer
 	for i := 0; i < p.set.Len(); {
 		if g.ColumnOf(g.CellOf(p.set.Pos[i])) == col {
-			out.ps = append(out.ps, p.set.Extract(i))
-			out.frc = append(out.frc, p.set.Frc[i])
+			out.Ps = append(out.Ps, p.set.Extract(i))
+			out.Frc = append(out.Frc, p.set.Frc[i])
 			p.set.RemoveSwap(i)
 			continue
 		}
@@ -482,11 +489,11 @@ func (p *pe) extractColumn(col int) colTransfer {
 // byID sorts a colTransfer's parallel slices by particle ID.
 type byID colTransfer
 
-func (s byID) Len() int           { return len(s.ps) }
-func (s byID) Less(a, b int) bool { return s.ps[a].ID < s.ps[b].ID }
+func (s byID) Len() int           { return len(s.Ps) }
+func (s byID) Less(a, b int) bool { return s.Ps[a].ID < s.Ps[b].ID }
 func (s byID) Swap(a, b int) {
-	s.ps[a], s.ps[b] = s.ps[b], s.ps[a]
-	s.frc[a], s.frc[b] = s.frc[b], s.frc[a]
+	s.Ps[a], s.Ps[b] = s.Ps[b], s.Ps[a]
+	s.Frc[a], s.Frc[b] = s.Frc[b], s.Frc[a]
 }
 
 // migrate sends particles whose cell is hosted by another PE to that host.
@@ -687,6 +694,10 @@ func (p *pe) collectStats(step int, stepWall float64, res *Result) {
 		st.Temperature = 2 * ke / (3 * float64(totalN))
 	}
 	st.Conc = conc.Compute(pes)
+	// Transport traffic as seen by this process; on a multi-process run
+	// the coordinator replaces these with the global per-process sums.
+	ts := p.c.TransportStats()
+	st.SentFrames, st.SentBytes, st.ResendCount = ts.Frames, ts.Bytes, ts.Resends
 	if p.cfg.guardOn() {
 		p.guardGlobal(step, st.TotalEnergy, totalN)
 	}

@@ -1,0 +1,426 @@
+package distrib
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+
+	"permcell/internal/checkpoint"
+	"permcell/internal/comm"
+	"permcell/internal/core"
+	"permcell/internal/transport"
+)
+
+// Config selects how a coordinator hosts its workers.
+type Config struct {
+	// Procs is the number of worker processes. Must be 1..P; ranks are
+	// dealt in contiguous blocks (RanksOf).
+	Procs int
+	// Worker is the mdrank binary to exec per process. Empty hosts the
+	// workers as goroutines in this process — still speaking real TCP
+	// over loopback, which is what the cross-transport tests exercise
+	// (and keeps them under the race detector).
+	Worker string
+	// Addr is the coordinator listen address; default "127.0.0.1:0".
+	Addr string
+	// OnStep streams each assembled step record; DiscardStats drops them
+	// after streaming instead of accumulating the trace.
+	OnStep       func(core.StepStats)
+	DiscardStats bool
+}
+
+// handshakeTimeout bounds the accept+hello phase so a worker that dies
+// before connecting fails Start instead of hanging it.
+const handshakeTimeout = 60 * time.Second
+
+// Engine drives W worker processes in lockstep and presents the same
+// stepwise surface as core.Engine: Step, AbsStep, Snapshot, Stats,
+// Finish. Data frames between workers are forwarded through the
+// coordinator by header only (star topology, payloads opaque). Not safe
+// for concurrent use.
+type Engine struct {
+	spec    WireSpec
+	peers   []*transport.Peer
+	procOf  []int // rank -> hosting proc
+	ctrl    chan ctrlFrame
+	fatal   chan error
+	cmds    []*exec.Cmd
+	stats   []core.StepStats
+	onStep  func(core.StepStats)
+	discard bool
+
+	base      int   // absolute step at start (restore offset)
+	baseMsgs  int64 // comm counters carried over from the restored run
+	baseBytes int64
+	stepped   int
+	err       error
+	done      bool
+	finRes    *core.Result
+	finErr    error
+}
+
+type ctrlFrame struct {
+	proc  int
+	frame transport.Frame
+}
+
+// Start listens, launches cfg.Procs workers, deals rank blocks, and
+// waits for every worker to report a constructed engine. spec.Proc and
+// spec.Ranks are assigned per worker here; spec.Restore, when set,
+// seeds the absolute step and comm counter continuations.
+func Start(spec WireSpec, cfg Config) (*Engine, error) {
+	w := cfg.Procs
+	if w <= 0 {
+		w = spec.P
+	}
+	if w > spec.P {
+		return nil, fmt.Errorf("distrib: %d worker processes for %d ranks", w, spec.P)
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: listen: %w", err)
+	}
+	defer ln.Close()
+	dialAddr := ln.Addr().String()
+
+	e := &Engine{
+		spec:    spec,
+		peers:   make([]*transport.Peer, w),
+		procOf:  make([]int, spec.P),
+		ctrl:    make(chan ctrlFrame, 4*w),
+		fatal:   make(chan error, w),
+		onStep:  cfg.OnStep,
+		discard: cfg.DiscardStats,
+	}
+	if spec.Restore != nil {
+		e.base = spec.Restore.Step
+		e.baseMsgs = spec.Restore.CommMsgs
+		e.baseBytes = spec.Restore.CommBytes
+	}
+
+	// Launch the workers. Process identity is assigned in accept order,
+	// which is safe because the delivery contract is placement
+	// independent: any worker can host any rank block.
+	if cfg.Worker != "" {
+		for i := 0; i < w; i++ {
+			cmd := exec.Command(cfg.Worker, "-connect", dialAddr)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				e.shutdown()
+				return nil, fmt.Errorf("distrib: start worker: %w", err)
+			}
+			e.cmds = append(e.cmds, cmd)
+		}
+	} else {
+		for i := 0; i < w; i++ {
+			go func() {
+				conn, derr := net.Dial("tcp", dialAddr)
+				if derr != nil {
+					return // surfaces as an accept timeout
+				}
+				if werr := RunWorker(conn); werr != nil {
+					fmt.Fprintf(os.Stderr, "distrib: worker: %v\n", werr)
+				}
+			}()
+		}
+	}
+
+	// Accept + hello, then deal each worker its spec.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(handshakeTimeout))
+	}
+	for i := 0; i < w; i++ {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			e.shutdown()
+			return nil, fmt.Errorf("distrib: accept worker %d/%d: %w", i, w, aerr)
+		}
+		peer := transport.NewPeer(conn)
+		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		fr, herr := peer.Recv()
+		if herr != nil || fr.Kind != transport.KindHello {
+			e.peers[i] = peer
+			e.shutdown()
+			return nil, fmt.Errorf("distrib: worker %d hello: kind=%d err=%v", i, fr.Kind, herr)
+		}
+		conn.SetReadDeadline(time.Time{})
+		e.peers[i] = peer
+
+		ws := spec
+		ws.Proc = i
+		ws.Ranks = RanksOf(spec.P, w, i)
+		for _, r := range ws.Ranks {
+			e.procOf[r] = i
+		}
+		payload, perr := transport.EncodePayload(ws)
+		if perr != nil {
+			e.shutdown()
+			return nil, fmt.Errorf("distrib: encode spec: %w", perr)
+		}
+		if serr := peer.Send(transport.Frame{Kind: transport.KindSpec, Payload: payload}); serr != nil {
+			e.shutdown()
+			return nil, fmt.Errorf("distrib: send spec to worker %d: %w", i, serr)
+		}
+	}
+
+	// Router per connection: data frames hop to the destination rank's
+	// hosting peer; control frames queue for the collector. One router
+	// goroutine per source connection preserves per-source frame order,
+	// which together with the workers' single reader keeps the
+	// per-(src,tag) FIFO delivery contract intact across the star.
+	for i := 0; i < w; i++ {
+		go e.route(i)
+	}
+
+	// Every worker reports construction (an empty StepAck).
+	if _, err := e.collect(transport.KindStepAck); err != nil {
+		e.shutdown()
+		return nil, fmt.Errorf("distrib: worker startup: %w", err)
+	}
+	return e, nil
+}
+
+func (e *Engine) route(proc int) {
+	for {
+		fr, err := e.peers[proc].Recv()
+		if err != nil {
+			e.fatal <- fmt.Errorf("distrib: worker %d connection: %w", proc, err)
+			return
+		}
+		if fr.Kind == transport.KindData {
+			dst := int(fr.Dst)
+			if dst < 0 || dst >= len(e.procOf) {
+				e.fatal <- fmt.Errorf("distrib: data frame for rank %d out of range", dst)
+				return
+			}
+			if err := e.peers[e.procOf[dst]].Send(fr); err != nil {
+				e.fatal <- fmt.Errorf("distrib: forward to worker %d: %w", e.procOf[dst], err)
+				return
+			}
+			continue
+		}
+		e.ctrl <- ctrlFrame{proc: proc, frame: fr}
+	}
+}
+
+// broadcast sends one control frame to every worker.
+func (e *Engine) broadcast(f transport.Frame) error {
+	for i, p := range e.peers {
+		if err := p.Send(f); err != nil {
+			return fmt.Errorf("distrib: command to worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// collect gathers one control ack of the given kind from every worker
+// and returns the decoded payloads indexed by arrival. Any connection
+// fault or mismatched frame kind aborts the batch.
+func (e *Engine) collect(kind byte) ([]any, error) {
+	out := make([]any, 0, len(e.peers))
+	for len(out) < len(e.peers) {
+		select {
+		case err := <-e.fatal:
+			return nil, err
+		case cf := <-e.ctrl:
+			if cf.frame.Kind != kind {
+				return nil, fmt.Errorf("distrib: worker %d sent frame kind %d, want %d", cf.proc, cf.frame.Kind, kind)
+			}
+			v, err := transport.DecodePayload(cf.frame.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: decode ack from worker %d: %w", cf.proc, err)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Step advances every worker by n steps in lockstep, stitches the new
+// rank-0 records into the global trace, and overwrites their transport
+// counters with the sum over all processes — making the trace identical
+// to a single-process run of the same seed (transport counters excluded;
+// they are transport-dependent by construction).
+func (e *Engine) Step(n int) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.done {
+		return fmt.Errorf("distrib: Step after Finish")
+	}
+	if n < 0 {
+		return fmt.Errorf("core: negative step count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if err := e.broadcast(transport.Frame{Kind: transport.KindStep, Tag: int32(n)}); err != nil {
+		e.err = err
+		return err
+	}
+	acks, err := e.collect(transport.KindStepAck)
+	if err != nil {
+		e.err = err
+		return err
+	}
+	var sum comm.TransportStats
+	var records []core.StepStats
+	for _, v := range acks {
+		ack, ok := v.(StepAck)
+		if !ok {
+			e.err = fmt.Errorf("distrib: step ack payload is %T", v)
+			return e.err
+		}
+		if ack.Err != "" {
+			e.err = fmt.Errorf("distrib: worker %d: %s", ack.Proc, ack.Err)
+			return e.err
+		}
+		sum.Frames += ack.Transport.Frames
+		sum.Bytes += ack.Transport.Bytes
+		sum.Resends += ack.Transport.Resends
+		if len(ack.Stats) > 0 {
+			records = ack.Stats
+		}
+	}
+	for _, st := range records {
+		st.SentFrames = sum.Frames
+		st.SentBytes = sum.Bytes
+		st.ResendCount = sum.Resends
+		if e.onStep != nil {
+			e.onStep(st)
+		}
+		if !e.discard {
+			e.stats = append(e.stats, st)
+		}
+	}
+	e.stepped += n
+	return nil
+}
+
+// AbsStep returns the absolute time step, counting any restored prefix.
+func (e *Engine) AbsStep() int { return e.base + e.stepped }
+
+// Stats returns the accumulated step records.
+func (e *Engine) Stats() []core.StepStats { return e.stats }
+
+// Snapshot assembles a full checkpoint from the per-worker frame sets at
+// the current batch boundary. The comm counters continue the restored
+// run's totals, matching the in-process engine bit for bit.
+func (e *Engine) Snapshot() (*checkpoint.EngineState, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.done {
+		return nil, fmt.Errorf("distrib: Snapshot after Finish")
+	}
+	if err := e.broadcast(transport.Frame{Kind: transport.KindSnapshot}); err != nil {
+		e.err = err
+		return nil, err
+	}
+	acks, err := e.collect(transport.KindSnapAck)
+	if err != nil {
+		e.err = err
+		return nil, err
+	}
+	st := &checkpoint.EngineState{
+		Step:   e.base + e.stepped,
+		Frames: make([]checkpoint.Frame, e.spec.P),
+	}
+	var msgs, bytes int64
+	for _, v := range acks {
+		ack, ok := v.(SnapAck)
+		if !ok {
+			e.err = fmt.Errorf("distrib: snapshot ack payload is %T", v)
+			return nil, e.err
+		}
+		if ack.Err != "" {
+			e.err = fmt.Errorf("distrib: worker %d: %s", ack.Proc, ack.Err)
+			return nil, e.err
+		}
+		msgs += ack.Msgs
+		bytes += ack.Bytes
+		for _, f := range ack.Frames {
+			if f.Rank < 0 || f.Rank >= e.spec.P {
+				e.err = fmt.Errorf("distrib: snapshot frame for rank %d out of range", f.Rank)
+				return nil, e.err
+			}
+			st.Frames[f.Rank] = f
+		}
+	}
+	st.CommMsgs = e.baseMsgs + msgs
+	st.CommBytes = e.baseBytes + bytes
+	if err := st.Validate(e.spec.P); err != nil {
+		e.err = err
+		return nil, err
+	}
+	return st, nil
+}
+
+// Finish drains every worker, assembles the global Result, and releases
+// the worker processes. Idempotent: repeated calls return the first
+// outcome.
+func (e *Engine) Finish() (*core.Result, error) {
+	if e.done {
+		return e.finRes, e.finErr
+	}
+	e.done = true
+	defer e.shutdown()
+	if e.err != nil {
+		e.finErr = e.err
+		return nil, e.finErr
+	}
+	if err := e.broadcast(transport.Frame{Kind: transport.KindFinish}); err != nil {
+		e.finErr = err
+		return nil, err
+	}
+	acks, err := e.collect(transport.KindResultAck)
+	if err != nil {
+		e.finErr = err
+		return nil, err
+	}
+	res := &core.Result{M: e.spec.M, Stats: e.stats}
+	res.CommMsgs, res.CommBytes = e.baseMsgs, e.baseBytes
+	for _, v := range acks {
+		ack, ok := v.(ResultAck)
+		if !ok {
+			e.finErr = fmt.Errorf("distrib: result ack payload is %T", v)
+			return nil, e.finErr
+		}
+		if ack.Err != "" {
+			e.finErr = fmt.Errorf("distrib: worker %d: %s", ack.Proc, ack.Err)
+			return nil, e.finErr
+		}
+		if ack.Final != nil {
+			res.Final = ack.Final
+		}
+		res.CommMsgs += ack.Msgs
+		res.CommBytes += ack.Bytes
+		res.Faults.Delays += ack.Faults.Delays
+		res.Faults.Reorders += ack.Faults.Reorders
+		res.Faults.Failures += ack.Faults.Failures
+		res.Faults.Retries += ack.Faults.Retries
+		res.Faults.Stalls += ack.Faults.Stalls
+	}
+	e.finRes = res
+	return res, nil
+}
+
+// shutdown closes every connection and reaps worker processes. Closing a
+// connection unblocks the worker's reader, which exits RunWorker; after
+// a clean Finish the workers have already exited on their own.
+func (e *Engine) shutdown() {
+	for _, p := range e.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	for _, cmd := range e.cmds {
+		cmd.Wait()
+	}
+}

@@ -1,0 +1,179 @@
+package distrib
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"permcell/internal/comm"
+	"permcell/internal/core"
+	"permcell/internal/transport"
+)
+
+// peerRemote adapts the coordinator connection to comm.Remote: every
+// cross-process send is gob-encoded and framed onto the single peer. The
+// Peer's write mutex serializes concurrent senders, preserving each
+// goroutine's program-order send sequence — the per-(src,tag) FIFO the
+// delivery contract requires. Counters track encoded payload bytes so
+// per-process transport stats sum to placement-independent totals.
+type peerRemote struct {
+	peer   *transport.Peer
+	frames atomic.Int64
+	bytes  atomic.Int64
+}
+
+func (r *peerRemote) Deliver(src, dst, tag int, data any, size int64) error {
+	payload, err := transport.EncodePayload(data)
+	if err != nil {
+		return fmt.Errorf("distrib: encode payload (src %d dst %d tag %d): %w", src, dst, tag, err)
+	}
+	r.frames.Add(1)
+	r.bytes.Add(int64(len(payload)))
+	return r.peer.Send(transport.Frame{
+		Kind: transport.KindData,
+		Src:  int32(src), Dst: int32(dst), Tag: int32(tag),
+		Payload: payload,
+	})
+}
+
+func (r *peerRemote) Stats() (frames, bytes int64) {
+	return r.frames.Load(), r.bytes.Load()
+}
+
+// RunWorker services one worker process (or goroutine-hosted worker) on
+// an established coordinator connection: handshake, build the partial
+// engine from the wire spec, then serve Step/Snapshot/Finish commands
+// until the final ResultAck. Returns on protocol completion (nil) or the
+// first connection/engine fault.
+func RunWorker(conn net.Conn) error {
+	peer := transport.NewPeer(conn)
+	defer peer.Close()
+
+	if err := peer.Send(transport.Frame{Kind: transport.KindHello}); err != nil {
+		return fmt.Errorf("distrib: hello: %w", err)
+	}
+	fr, err := peer.Recv()
+	if err != nil {
+		return fmt.Errorf("distrib: await spec: %w", err)
+	}
+	if fr.Kind != transport.KindSpec {
+		return fmt.Errorf("distrib: expected spec frame, got kind %d", fr.Kind)
+	}
+	v, err := transport.DecodePayload(fr.Payload)
+	if err != nil {
+		return fmt.Errorf("distrib: decode spec: %w", err)
+	}
+	spec, ok := v.(WireSpec)
+	if !ok {
+		return fmt.Errorf("distrib: spec payload is %T, want WireSpec", v)
+	}
+
+	sendAck := func(kind byte, ack any) error {
+		payload, perr := transport.EncodePayload(ack)
+		if perr != nil {
+			return fmt.Errorf("distrib: encode ack: %w", perr)
+		}
+		return peer.Send(transport.Frame{Kind: kind, Payload: payload})
+	}
+
+	part, err := newPartialFromSpec(&spec, peer)
+	if err != nil {
+		// Report the construction failure as the ready ack; the
+		// coordinator fails Start with this message.
+		_ = sendAck(transport.KindStepAck, StepAck{Proc: spec.Proc, Err: errString(err)})
+		return err
+	}
+	if err := sendAck(transport.KindStepAck, StepAck{Proc: spec.Proc}); err != nil {
+		return err
+	}
+
+	// Reader goroutine: the only consumer of the connection from here on.
+	// Data frames are injected into the partial world immediately (PEs
+	// block on them mid-batch); control frames queue for the serve loop.
+	world := part.World()
+	ctrl := make(chan transport.Frame, 4)
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			f, rerr := peer.Recv()
+			if rerr != nil {
+				readErr <- rerr
+				return
+			}
+			if f.Kind == transport.KindData {
+				data, derr := transport.DecodePayload(f.Payload)
+				if derr != nil {
+					readErr <- fmt.Errorf("distrib: decode data frame: %w", derr)
+					return
+				}
+				if ierr := world.Inject(int(f.Src), int(f.Dst), int(f.Tag), data, 0); ierr != nil {
+					readErr <- ierr
+					return
+				}
+				continue
+			}
+			ctrl <- f
+		}
+	}()
+
+	for {
+		select {
+		case rerr := <-readErr:
+			return rerr
+		case f := <-ctrl:
+			switch f.Kind {
+			case transport.KindStep:
+				serr := part.Step(int(f.Tag))
+				ack := StepAck{
+					Proc:      spec.Proc,
+					Stats:     part.TakeStats(),
+					Transport: part.TransportStats(),
+					Err:       errString(serr),
+				}
+				ack.Msgs, ack.Bytes = part.Stats()
+				if err := sendAck(transport.KindStepAck, ack); err != nil {
+					return err
+				}
+			case transport.KindSnapshot:
+				frames, serr := part.SnapshotLocal()
+				ack := SnapAck{Proc: spec.Proc, Frames: frames, Err: errString(serr)}
+				ack.Msgs, ack.Bytes = part.Stats()
+				if err := sendAck(transport.KindSnapAck, ack); err != nil {
+					return err
+				}
+			case transport.KindFinish:
+				res, ferr := part.Finish()
+				ack := ResultAck{Proc: spec.Proc, Err: errString(ferr)}
+				if res != nil {
+					ack.Final = res.Final
+					ack.Msgs, ack.Bytes = res.CommMsgs, res.CommBytes
+					ack.Faults = res.Faults
+				}
+				if err := sendAck(transport.KindResultAck, ack); err != nil {
+					return err
+				}
+				// Hold the connection open until the coordinator closes
+				// it: tearing down first would race our final ack
+				// against the EOF on the coordinator's router, turning a
+				// clean shutdown into a spurious connection fault.
+				<-readErr
+				return nil
+			default:
+				return fmt.Errorf("distrib: unexpected control frame kind %d", f.Kind)
+			}
+		}
+	}
+}
+
+// newPartialFromSpec builds this process's share of the engine. The
+// remote must exist before NewPartial so the spawned PEs can send during
+// step-0 force construction; incoming frames buffer in the kernel until
+// the caller's reader goroutine starts draining, moments later.
+func newPartialFromSpec(spec *WireSpec, peer *transport.Peer) (*core.Partial, error) {
+	cfg, sys, err := spec.buildConfig()
+	if err != nil {
+		return nil, err
+	}
+	var remote comm.Remote = &peerRemote{peer: peer}
+	return core.NewPartial(cfg, sys, spec.Ranks, remote)
+}

@@ -280,6 +280,15 @@ type StepRecord struct {
 	// are what trace-equivalence checks compare.
 	TotalEnergy float64 `json:"total_energy"`
 	Temperature float64 `json:"temperature"`
+
+	// SentFrames/SentBytes/ResendCount are the cumulative transport
+	// traffic counters at this step (StepStats.SentFrames etc.): wire
+	// frames on the TCP transport, channel messages in-process, plus
+	// fault-layer resends. Driver-filled like TotalEnergy, and — being
+	// transport-dependent — excluded from trace-equivalence comparisons.
+	SentFrames  int64 `json:"sent_frames"`
+	SentBytes   int64 `json:"sent_bytes"`
+	ResendCount int64 `json:"resend_count"`
 }
 
 // NewStepRecord assembles the exportable record from the reduced step
@@ -365,6 +374,12 @@ type Cumulative struct {
 	Secs         [NumPhases]float64
 	Msgs         [NumPhases]int64
 	Bytes        [NumPhases]int64
+	// SentFrames/SentBytes/Resends mirror the run's latest cumulative
+	// transport counters (already run totals in StepStats, so Observe
+	// stores rather than sums).
+	SentFrames int64
+	SentBytes  int64
+	Resends    int64
 	// Recovery, when non-nil, adds the supervisor's recovery counters to the
 	// exposition (drivers fill it from the supervision report).
 	Recovery *Recovery
@@ -379,6 +394,12 @@ func (c *Cumulative) Add(stepWallAve float64, b Breakdown) {
 		c.Msgs[ph] += b.Msgs[ph]
 		c.Bytes[ph] += b.Bytes[ph]
 	}
+}
+
+// ObserveTransport records the latest cumulative transport counters
+// (StepStats carries run totals, so this overwrites instead of adding).
+func (c *Cumulative) ObserveTransport(frames, bytes, resends int64) {
+	c.SentFrames, c.SentBytes, c.Resends = frames, bytes, resends
 }
 
 // The exposition is split into a header half and a sample half so a
@@ -459,6 +480,12 @@ func WritePrometheusHeaders(w io.Writer, recovery bool) error {
 	p("# TYPE permcell_phase_messages_total counter\n")
 	p("# HELP permcell_phase_bytes_total Point-to-point payload bytes originated per phase.\n")
 	p("# TYPE permcell_phase_bytes_total counter\n")
+	p("# HELP permcell_transport_sent_frames_total Messages that crossed the transport (wire frames on TCP).\n")
+	p("# TYPE permcell_transport_sent_frames_total counter\n")
+	p("# HELP permcell_transport_sent_bytes_total Payload bytes that crossed the transport.\n")
+	p("# TYPE permcell_transport_sent_bytes_total counter\n")
+	p("# HELP permcell_transport_resends_total Fault-layer delivery retries on the transport.\n")
+	p("# TYPE permcell_transport_resends_total counter\n")
 	if recovery {
 		for _, m := range recoveryFamilies(&Recovery{}) {
 			p("# HELP %s %s\n", m.name, m.help)
@@ -489,6 +516,9 @@ func (c *Cumulative) WriteSamples(w io.Writer, labels string) error {
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		p("permcell_phase_bytes_total%s %d\n", joinLabels(Labels("phase", ph.String()), labels), c.Bytes[ph])
 	}
+	p("permcell_transport_sent_frames_total%s %d\n", joinLabels("", labels), c.SentFrames)
+	p("permcell_transport_sent_bytes_total%s %d\n", joinLabels("", labels), c.SentBytes)
+	p("permcell_transport_resends_total%s %d\n", joinLabels("", labels), c.Resends)
 	if r := c.Recovery; r != nil {
 		for _, m := range recoveryFamilies(r) {
 			p("%s%s %d\n", m.name, joinLabels("", labels), m.v)

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetentionSweep drives a run to completion and a second one to
+// cancellation, then sweeps with a synthetic clock: before the retention
+// horizon nothing is reaped; after it both runs vanish — status 404, gone
+// from the listing, checkpoint directory removed — and the reaped counter
+// lands in /metrics.
+func TestRetentionSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, hs := newTestService(t, Config{
+		Dir:       dir,
+		Retention: time.Hour,
+		// A huge cadence: the ticker janitor stays out of the way and the
+		// test owns the clock through direct sweep calls.
+		SweepEvery: 24 * time.Hour,
+	})
+
+	spec := serialSpec(4)
+	spec.CheckpointEvery = 2
+	done := postRun(t, hs, spec)
+	waitTerminal(t, s, done)
+
+	// A queued-then-canceled run exercises the Cancel fast path's doneAt.
+	victim := newRun("rvictim", serialSpec(4), filepath.Join(dir, "rvictim"), s.ctx)
+	if err := os.MkdirAll(victim.dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.runs[victim.ID] = victim
+	s.mu.Unlock()
+	if err := s.Cancel(victim.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+
+	ckptDir := filepath.Join(dir, done)
+	if _, err := os.Stat(ckptDir); err != nil {
+		t.Fatalf("completed run left no checkpoint dir: %v", err)
+	}
+
+	if n := s.sweep(time.Now()); n != 0 {
+		t.Fatalf("sweep before retention reaped %d runs", n)
+	}
+	if _, err := s.Get(done); err != nil {
+		t.Fatalf("run reaped early: %v", err)
+	}
+
+	if n := s.sweep(time.Now().Add(2 * time.Hour)); n != 2 {
+		t.Fatalf("sweep after retention reaped %d runs, want 2", n)
+	}
+	if _, err := s.Get(done); err == nil {
+		t.Fatal("completed run still addressable after reap")
+	}
+	if resp, err := http.Get(hs.URL + "/runs/" + done); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET reaped run: status %d, want 404", resp.StatusCode)
+		}
+	}
+	for _, d := range []string{ckptDir, victim.dir} {
+		if _, err := os.Stat(d); !os.IsNotExist(err) {
+			t.Fatalf("reaped run's directory %s survived (err=%v)", d, err)
+		}
+	}
+
+	body := getMetrics(t, hs)
+	if !strings.Contains(body, "permcell_serve_runs_reaped_total 2") {
+		t.Fatalf("metrics missing reaped counter:\n%s", body)
+	}
+}
+
+// TestRetentionKeepsLiveRuns verifies the sweep never touches non-terminal
+// runs, no matter how old the clock claims they are.
+func TestRetentionKeepsLiveRuns(t *testing.T) {
+	s, _ := newTestService(t, Config{
+		Dir:        t.TempDir(),
+		Retention:  time.Millisecond,
+		SweepEvery: 24 * time.Hour,
+	})
+	r := newRun("rlive", serialSpec(4), filepath.Join(s.cfg.Dir, "rlive"), s.ctx)
+	s.mu.Lock()
+	s.runs[r.ID] = r
+	s.mu.Unlock()
+
+	for _, st := range []State{StateQueued, StateRunning, StatePaused} {
+		r.mu.Lock()
+		r.state = st
+		r.mu.Unlock()
+		if n := s.sweep(time.Now().Add(1000 * time.Hour)); n != 0 {
+			t.Fatalf("sweep reaped a %s run", st)
+		}
+	}
+}
+
+func getMetrics(t *testing.T, hs *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return string(b)
+}

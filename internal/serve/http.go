@@ -206,6 +206,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		runs = append(runs, r)
 	}
 	admitted := s.admitted
+	reaped := s.reaped
 	rejected := make(map[string]int64, len(s.rejected))
 	for k, v := range s.rejected {
 		rejected[k] = v
@@ -265,6 +266,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, reason := range []string{"invalid", "too_large", "queue_full"} {
 		p("permcell_serve_rejected_total{%s} %d\n", metrics.Labels("reason", reason), rejected[reason])
 	}
+	p("# HELP permcell_serve_runs_reaped_total Terminal runs removed by the retention janitor.\n")
+	p("# TYPE permcell_serve_runs_reaped_total counter\n")
+	p("permcell_serve_runs_reaped_total %d\n", reaped)
 
 	// Per-run gauges.
 	p("# HELP permcell_run_steps_done Completed simulation steps per run.\n")

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
 
 	"permcell"
 	"permcell/internal/metrics"
@@ -54,8 +55,9 @@ type Run struct {
 	mu      sync.Mutex
 	state   State
 	err     string
-	pauseRq bool // pause requested; worker parks at the next batch boundary
-	done    int  // completed simulation steps
+	doneAt  time.Time // when the run entered a terminal state (janitor clock)
+	pauseRq bool      // pause requested; worker parks at the next batch boundary
+	done    int       // completed simulation steps
 	recs    []metrics.StepRecord
 	changed chan struct{} // closed and replaced on every observable change
 
@@ -95,6 +97,9 @@ func (r *Run) setState(s State, err error) {
 		return // terminal states are sticky (e.g. cancel raced completion)
 	}
 	r.state = s
+	if s.Terminal() {
+		r.doneAt = time.Now()
+	}
 	if err != nil {
 		r.err = err.Error()
 	}
@@ -112,6 +117,7 @@ func (r *Run) onStep(st permcell.StepStats) {
 	defer r.mu.Unlock()
 	r.recs = append(r.recs, rec)
 	r.cum.Add(st.StepWallAve, st.Phases)
+	r.cum.ObserveTransport(st.SentFrames, st.SentBytes, st.ResendCount)
 	r.lastRatio = rec.LoadRatio
 	r.lastEff = rec.Efficiency
 	r.notify()
@@ -133,6 +139,9 @@ func stepRecord(spec *RunSpec, st permcell.StepStats) metrics.StepRecord {
 		st.Conc.C0OverC, st.Conc.NFactor, m)
 	rec.TotalEnergy = st.TotalEnergy
 	rec.Temperature = st.Temperature
+	rec.SentFrames = st.SentFrames
+	rec.SentBytes = st.SentBytes
+	rec.ResendCount = st.ResendCount
 	return rec
 }
 

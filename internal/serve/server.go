@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"permcell"
 	"permcell/internal/checkpoint"
@@ -35,6 +36,14 @@ type Config struct {
 	// StepBatch is the number of simulation steps a worker advances
 	// between control checks (pause/cancel latency, in steps). 0 = 8.
 	StepBatch int
+	// Retention is how long a terminal run (completed, failed or canceled)
+	// stays addressable after finishing. Once it expires, the janitor
+	// removes the run — its record log, status, and private checkpoint
+	// directory — and GET /runs/{id} answers 404. 0 = keep forever.
+	Retention time.Duration
+	// SweepEvery is the janitor's sweep cadence. 0 = Retention/4, clamped
+	// to [1s, 1min]. Ignored when Retention is 0.
+	SweepEvery time.Duration
 }
 
 func (c *Config) normalize() {
@@ -49,6 +58,15 @@ func (c *Config) normalize() {
 	}
 	if c.StepBatch <= 0 {
 		c.StepBatch = 8
+	}
+	if c.Retention > 0 && c.SweepEvery <= 0 {
+		c.SweepEvery = c.Retention / 4
+		if c.SweepEvery < time.Second {
+			c.SweepEvery = time.Second
+		}
+		if c.SweepEvery > time.Minute {
+			c.SweepEvery = time.Minute
+		}
 	}
 }
 
@@ -95,6 +113,7 @@ type Server struct {
 	// Service-level counters (GET /metrics).
 	admitted int64
 	rejected map[string]int64 // reason -> count
+	reaped   int64            // terminal runs removed by the janitor
 }
 
 // New creates the service and starts its worker pool.
@@ -121,7 +140,53 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.Retention > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
 	return s, nil
+}
+
+// janitor periodically reaps terminal runs past their retention.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-t.C:
+			s.sweep(now)
+		}
+	}
+}
+
+// sweep removes every terminal run whose retention expired as of now,
+// including its private checkpoint directory, and returns how many it
+// reaped. Only terminal runs are eligible, so no worker is executing a
+// reaped run; a canceled run still parked in the admission queue may be
+// reaped first, in which case the worker later drains a dangling handle
+// whose canceled-context fast path touches no disk state.
+func (s *Server) sweep(now time.Time) int {
+	s.mu.Lock()
+	var victims []*Run
+	for id, r := range s.runs {
+		r.mu.Lock()
+		expired := r.state.Terminal() && !r.doneAt.IsZero() && now.Sub(r.doneAt) >= s.cfg.Retention
+		r.mu.Unlock()
+		if expired {
+			victims = append(victims, r)
+			delete(s.runs, id)
+		}
+	}
+	s.reaped += int64(len(victims))
+	s.mu.Unlock()
+
+	for _, r := range victims {
+		os.RemoveAll(r.dir)
+	}
+	return len(victims)
 }
 
 // Shutdown stops admission, cancels every live run and waits (bounded by
@@ -283,6 +348,7 @@ func (s *Server) Cancel(id string) error {
 	r.mu.Lock()
 	if r.state == StateQueued || r.state == StatePaused {
 		r.state = StateCanceled
+		r.doneAt = time.Now()
 		r.notify()
 	}
 	r.mu.Unlock()

@@ -1,0 +1,164 @@
+// Package transport implements the wire layer for multi-process runs:
+// a length-prefixed binary frame codec and a connection wrapper used by
+// the TCP backend (coordinator hub + mdrank workers).
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  length   // bytes after this field: 13 + len(payload)
+//	byte    kind     // one of the Kind* constants
+//	int32   src      // source rank (data frames) or proc id (control)
+//	int32   dst      // destination rank, -1 for control frames
+//	int32   tag      // protocol tag; negative tags are collectives
+//	[]byte  payload  // gob-encoded envelope, may be empty
+//
+// The codec is deliberately paranoid on the read side: a lying length
+// prefix can never allocate more than the bytes actually present on the
+// stream, unknown kinds and undersized lengths are errors, and no input
+// can panic the decoder (fuzzed by FuzzFrameDecode).
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. The zero value is invalid on purpose: an all-zero header
+// (e.g. from a half-open connection) must not decode as a valid frame.
+const (
+	KindHello     byte = 1 // worker -> coordinator: first frame after dial
+	KindSpec      byte = 2 // coordinator -> worker: run configuration
+	KindData      byte = 3 // rank-to-rank message, routed through the hub
+	KindStep      byte = 4 // coordinator -> worker: advance N steps
+	KindStepAck   byte = 5 // worker -> coordinator: batch done + stats
+	KindSnapshot  byte = 6 // coordinator -> worker: capture local frames
+	KindSnapAck   byte = 7 // worker -> coordinator: local checkpoint frames
+	KindFinish    byte = 8 // coordinator -> worker: finalize the run
+	KindResultAck byte = 9 // worker -> coordinator: final result share
+	maxKind            = KindResultAck
+)
+
+// MaxPayload bounds a single frame's payload. The largest legitimate
+// frames are checkpoint snapshots of a whole rank; 64 MiB is far above
+// any configuration this engine accepts while still rejecting absurd
+// length prefixes before any allocation happens.
+const MaxPayload = 64 << 20
+
+// headerLen is the fixed part after the length prefix: kind + src + dst + tag.
+const headerLen = 1 + 4 + 4 + 4
+
+// Frame is one unit on the wire.
+type Frame struct {
+	Kind    byte
+	Src     int32
+	Dst     int32
+	Tag     int32
+	Payload []byte
+}
+
+// ErrFrameTooLarge is returned when a length prefix exceeds MaxPayload.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds max payload")
+
+// EncodeFrame writes f to w in wire format.
+func EncodeFrame(w io.Writer, f Frame) error {
+	if f.Kind == 0 || f.Kind > maxKind {
+		return fmt.Errorf("transport: encode: invalid frame kind %d", f.Kind)
+	}
+	if len(f.Payload) > MaxPayload {
+		return ErrFrameTooLarge
+	}
+	var hdr [4 + headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+len(f.Payload)))
+	hdr[4] = f.Kind
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(f.Src))
+	binary.BigEndian.PutUint32(hdr[9:13], uint32(f.Dst))
+	binary.BigEndian.PutUint32(hdr[13:17], uint32(f.Tag))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeFrame reads one frame from r. It returns io.EOF only when the
+// stream ends cleanly at a frame boundary; a frame cut mid-way yields
+// io.ErrUnexpectedEOF. A length prefix larger than MaxPayload is
+// rejected before any payload allocation, and a truncated stream never
+// allocates more than the bytes it actually carries.
+func DecodeFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err // io.EOF at a clean boundary
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerLen {
+		return Frame{}, fmt.Errorf("transport: frame length %d below header size", n)
+	}
+	if n > headerLen+MaxPayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, unexpectedEOF(err)
+	}
+	f := Frame{
+		Kind: hdr[0],
+		Src:  int32(binary.BigEndian.Uint32(hdr[1:5])),
+		Dst:  int32(binary.BigEndian.Uint32(hdr[5:9])),
+		Tag:  int32(binary.BigEndian.Uint32(hdr[9:13])),
+	}
+	if f.Kind == 0 || f.Kind > maxKind {
+		return Frame{}, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+	}
+	if pl := int64(n) - headerLen; pl > 0 {
+		// CopyN into a growable buffer: the buffer only ever holds bytes
+		// that were really read, so a lying length prefix on a short
+		// stream cannot force a large allocation.
+		var buf bytes.Buffer
+		if m, err := io.CopyN(&buf, r, pl); err != nil {
+			_ = m
+			return Frame{}, unexpectedEOF(err)
+		}
+		f.Payload = buf.Bytes()
+	}
+	return f, nil
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// envelope wraps a dynamically-typed payload for gob. Encoding through a
+// single wrapper struct gives every message the same wire shape; the
+// concrete types inside V must be gob.Register'd by their packages.
+type envelope struct{ V any }
+
+// EncodePayload gob-encodes v (wrapped in an envelope) into a byte slice
+// suitable for Frame.Payload. A fresh encoder per payload keeps frames
+// self-contained: any frame can be decoded without stream context.
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("transport: encode payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(b []byte) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: decode payload: %w", err)
+	}
+	return env.V, nil
+}

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode hammers the wire codec with arbitrary byte streams.
+// Contract: DecodeFrame never panics, never allocates beyond the bytes
+// actually present on the stream, and anything it accepts survives an
+// encode/decode round trip bit for bit.
+func FuzzFrameDecode(f *testing.F) {
+	seed := func(fr Frame) []byte {
+		var b bytes.Buffer
+		if err := EncodeFrame(&b, fr); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	valid := seed(Frame{Kind: KindData, Src: 1, Dst: 2, Tag: -3, Payload: []byte("fuzz me")})
+	f.Add(valid)
+	f.Add(seed(Frame{Kind: KindHello}))
+	f.Add(seed(Frame{Kind: KindResultAck, Src: 7, Dst: -1, Tag: 0, Payload: bytes.Repeat([]byte{0x5A}, 300)}))
+	// Truncations of a valid frame.
+	for cut := 0; cut < len(valid); cut += 3 {
+		f.Add(valid[:cut])
+	}
+	// Oversized and undersized length prefixes.
+	huge := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(huge[0:4], 0xFFFFFFFF)
+	f.Add(huge)
+	tiny := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(tiny[0:4], 1)
+	f.Add(tiny)
+	// Unknown kind.
+	badKind := append([]byte(nil), valid...)
+	badKind[4] = 0x7F
+	f.Add(badKind)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := DecodeFrame(r)
+			if err != nil {
+				return // any error is fine; panics and hangs are not
+			}
+			if fr.Kind == 0 || fr.Kind > maxKind {
+				t.Fatalf("decoder accepted invalid kind %d", fr.Kind)
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("decoder accepted payload of %d bytes", len(fr.Payload))
+			}
+			// Round trip: re-encoding what we decoded must reproduce an
+			// identical frame.
+			var buf bytes.Buffer
+			if err := EncodeFrame(&buf, fr); err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+			again, err := DecodeFrame(&buf)
+			if err != nil {
+				t.Fatalf("re-decode of accepted frame failed: %v", err)
+			}
+			if again.Kind != fr.Kind || again.Src != fr.Src || again.Dst != fr.Dst || again.Tag != fr.Tag || !bytes.Equal(again.Payload, fr.Payload) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", fr, again)
+			}
+			if _, err := io.ReadAll(io.LimitReader(r, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Peer wraps one connection with buffered, mutex-serialized frame writes
+// and sent-traffic counters. Sends may come from many goroutines (every
+// local PE plus the control loop); the mutex serializes them without
+// reordering any single goroutine's send sequence, which is all the
+// per-(src,tag) FIFO delivery contract needs.
+//
+// Recv is NOT locked: the protocol dedicates exactly one reader
+// goroutine per connection.
+type Peer struct {
+	c  io.ReadWriteCloser
+	br *bufio.Reader
+
+	mu sync.Mutex
+	bw *bufio.Writer
+
+	sentFrames atomic.Int64
+	sentBytes  atomic.Int64
+}
+
+// NewPeer wraps c. The caller owns c's lifetime via Close.
+func NewPeer(c io.ReadWriteCloser) *Peer {
+	return &Peer{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// Send writes one frame and flushes it to the connection.
+func (p *Peer) Send(f Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := EncodeFrame(p.bw, f); err != nil {
+		return err
+	}
+	if err := p.bw.Flush(); err != nil {
+		return err
+	}
+	p.sentFrames.Add(1)
+	p.sentBytes.Add(int64(4 + headerLen + len(f.Payload)))
+	return nil
+}
+
+// Recv reads the next frame. Single-reader only.
+func (p *Peer) Recv() (Frame, error) {
+	return DecodeFrame(p.br)
+}
+
+// Close closes the underlying connection.
+func (p *Peer) Close() error {
+	return p.c.Close()
+}
+
+// Sent returns the cumulative frames and wire bytes written so far.
+func (p *Peer) Sent() (frames, bytes int64) {
+	return p.sentFrames.Load(), p.sentBytes.Load()
+}

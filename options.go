@@ -77,8 +77,38 @@ type Options struct {
 	// guard is set internally by the supervisor when building inner
 	// engines (normalized from the policy's GuardConfig); there is no
 	// standalone option for it.
-	guard *supervise.GuardConfig
+	guard     *supervise.GuardConfig
+	transport Transport
 }
+
+// Transport selects where the parallel engine's PE ranks live. The zero
+// value (or Kind "chan") is the in-process reference transport: all ranks
+// are goroutines of this process exchanging messages over channels. Kind
+// "tcp" hosts the ranks in worker processes connected to an in-process
+// coordinator over loopback TCP (length-prefixed gob frames through a
+// star topology; see internal/distrib). Both transports honor the same
+// delivery contract, so a given seed produces bit-identical step traces
+// on either — the transport changes where ranks run, never what they
+// compute.
+type Transport struct {
+	// Kind is "" or "chan" for in-process, "tcp" for multi-process.
+	Kind string
+	// Procs is the tcp worker-process count, 1..P; ranks are dealt in
+	// contiguous blocks. 0 defaults to one process per rank.
+	Procs int
+	// Worker is the mdrank binary to exec per tcp worker. Empty hosts
+	// the workers as goroutines of this process, still speaking real
+	// TCP over loopback.
+	Worker string
+	// Addr is the tcp coordinator listen address (default "127.0.0.1:0").
+	Addr string
+}
+
+// Transport kinds.
+const (
+	TransportChan = "chan"
+	TransportTCP  = "tcp"
+)
 
 // Option mutates an Options.
 type Option func(*Options)
@@ -201,6 +231,14 @@ func WithSupervisor(p SupervisorPolicy) Option {
 // rollback see it spent, so a recovered run converges to the golden trace.
 // Serial engines ignore it.
 func WithSabotage(s *Sabotage) Option { return func(o *Options) { o.sabotage = s } }
+
+// WithTransport selects the parallel engine's transport (see Transport).
+// The serial and static engines support only the in-process transport.
+// On the tcp transport WithSabotage and WithSupervisor are rejected at
+// construction (their recovery machinery shares in-process state), and
+// WithOnStep runs on the coordinator's Step path instead of rank 0's
+// goroutine.
+func WithTransport(t Transport) Option { return func(o *Options) { o.transport = t } }
 
 // WithCheckpoint writes a coordinated checkpoint into dir every `every`
 // time steps (counted in absolute simulation steps, so a restored run keeps

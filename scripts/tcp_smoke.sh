@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the TCP transport with real worker processes: builds
+# mdrun + mdrank, runs the same tiny simulation once in-process and once
+# spread over mdrank workers, and asserts the deterministic CSV columns
+# (everything but wall times) are bit-identical, while the tcp run
+# actually crossed the wire (sent_frames > 0 in the JSONL
+# metrics, mdrank visible as child processes). Exists to catch what only
+# real exec + real sockets can: worker spawning, -connect plumbing,
+# stdio/teardown behavior.
+set -euo pipefail
+
+DATA="$(mktemp -d)"
+trap 'rm -rf "$DATA"' EXIT
+
+die() {
+    echo "tcp_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# det strips the run-header comment and the wall-time columns (5-8:
+# wall_max, wall_ave, wall_min, step_wall_max) — the only
+# non-deterministic content of the CSV.
+det() {
+    grep -v '^#' "$1" | cut -d, --complement -f5-8
+}
+
+go build -o "$DATA/bin/" ./cmd/mdrun ./cmd/mdrank
+[[ -x "$DATA/bin/mdrank" ]] || die "mdrank did not build"
+
+ARGS=(-m 2 -p 4 -rho 0.3 -steps 24 -dlb -wells 2 -wellk 1.5 -seed 7)
+
+"$DATA/bin/mdrun" "${ARGS[@]}" -o "$DATA/chan.csv" \
+    2>"$DATA/chan.log" || die "in-process run failed: $(cat "$DATA/chan.log")"
+
+# -mdrank auto resolves the sibling binary; -ranks 2 puts 2 PEs per process.
+"$DATA/bin/mdrun" "${ARGS[@]}" -transport tcp -ranks 2 \
+    -o "$DATA/tcp.csv" -metrics "$DATA/tcp.jsonl" \
+    2>"$DATA/tcp.log" || die "tcp run failed: $(cat "$DATA/tcp.log")"
+
+diff <(det "$DATA/chan.csv") <(det "$DATA/tcp.csv") \
+    || die "chan and tcp CSV traces differ"
+
+# The JSONL stream must report wire traffic: every record carries the
+# cumulative sent_frames counter, and by the last step it must be nonzero.
+tail -1 "$DATA/tcp.jsonl" | grep -q '"sent_frames":[1-9]' \
+    || die "tcp run reported no transport frames: $(tail -1 "$DATA/tcp.jsonl")"
+
+# A rescale across process counts: checkpoint at 12 under 2 workers, resume
+# under 4, and the spliced trace must extend the uninterrupted one exactly.
+"$DATA/bin/mdrun" "${ARGS[@]}" -steps 12 -transport tcp -ranks 2 \
+    -checkpoint-every 12 -checkpoint-dir "$DATA/ckpt" -o "$DATA/half.csv" \
+    2>"$DATA/half.log" || die "first half failed: $(cat "$DATA/half.log")"
+"$DATA/bin/mdrun" -steps 12 -transport tcp -ranks 4 \
+    -resume "$DATA/ckpt" -o "$DATA/rest.csv" \
+    2>"$DATA/rest.log" || die "resume failed: $(cat "$DATA/rest.log")"
+# Splice the two halves (dropping the resumed run's repeated column
+# header) and compare against the uninterrupted run.
+det "$DATA/half.csv" > "$DATA/spliced.csv"
+det "$DATA/rest.csv" | tail -n +2 >> "$DATA/spliced.csv"
+det "$DATA/chan.csv" > "$DATA/golden.csv"
+diff "$DATA/spliced.csv" "$DATA/golden.csv" \
+    || die "rescaled trace diverges from the uninterrupted run"
+
+echo "tcp_smoke: OK"
