@@ -29,6 +29,18 @@
 // latest checkpoint, resume, and finish with a trace identical to an
 // unsabotaged golden run. Exit status is non-zero if recovery diverges or
 // the supervisor gives up.
+//
+// -tcp-procs with one of -worker-kill-at / -worker-stall-at /
+// -worker-garbage-at selects the distributed self-healing scenario: the
+// golden run executes on the in-process transport, then the same run
+// executes on the tcp transport under the supervisor while one worker
+// process is killed, stalled past the heartbeat window, or made to write a
+// garbage frame at the given step. The supervisor must classify the typed
+// WorkerFailure, roll back, heal by respawning the worker (or rescaling
+// onto the survivors with -recover rescale), and converge to the golden
+// trace. -mdrank points at a real worker binary; empty hosts the workers
+// as goroutines. Exit status is non-zero if no worker failure was
+// detected, recovery diverges, or the supervisor gives up.
 package main
 
 import (
@@ -68,6 +80,16 @@ func main() {
 	maxRetries := flag.Int("max-retries", 3, "supervisor retry budget for the self-heal scenarios")
 	retryBackoff := flag.Duration("retry-backoff", time.Millisecond, "initial supervisor retry backoff for the self-heal scenarios")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence for the self-heal scenarios (0 = steps/4)")
+	tcpProcs := flag.Int("tcp-procs", 0, "distributed self-heal: worker-process count for the supervised tcp run (0 = in-process scenarios)")
+	mdrank := flag.String("mdrank", "", "mdrank binary for the tcp scenarios (empty = goroutine-hosted workers)")
+	workerKillAt := flag.Int("worker-kill-at", 0, "distributed self-heal: kill one worker before this step (0 = off)")
+	workerStallAt := flag.Int("worker-stall-at", 0, "distributed self-heal: stall one worker past the heartbeat window before this step (0 = off)")
+	workerGarbageAt := flag.Int("worker-garbage-at", 0, "distributed self-heal: make one worker write a garbage frame before this step (0 = off)")
+	workerProc := flag.Int("worker-proc", 1, "worker process the -worker-*-at chaos fires on")
+	workerStallDur := flag.Duration("worker-stall-dur", 2*time.Second, "stall length for -worker-stall-at (pick it past heartbeat-every x heartbeat-misses)")
+	recoverPolicy := flag.String("recover", "respawn", "worker recovery policy for the tcp scenarios: respawn or rescale")
+	hbEvery := flag.Duration("heartbeat-every", 50*time.Millisecond, "heartbeat interval for the tcp scenarios")
+	hbMisses := flag.Int("heartbeat-misses", 5, "heartbeat miss budget for the tcp scenarios")
 
 	flag.Parse()
 
@@ -100,6 +122,31 @@ func main() {
 	fmt.Printf("chaos: P=%d m=%d rho=%g steps=%d seed=%d shards=%d\n", *p, *m, *rho, *steps, *seed, *shards)
 	fmt.Printf("plan: delay %.2g<=%v reorder %.2g(depth %d) fail %.2g stalls %d x %v watchdog %v\n",
 		*delayProb, *maxDelay, *reorderProb, *reorderDepth, *failProb, *stalls, *stallDur, *watchdog)
+
+	if *tcpProcs > 0 {
+		kind, at := "", 0
+		switch {
+		case *workerKillAt > 0:
+			kind, at = permcell.ChaosWorkerExit, *workerKillAt
+		case *workerStallAt > 0:
+			kind, at = permcell.ChaosWorkerStall, *workerStallAt
+		case *workerGarbageAt > 0:
+			kind, at = permcell.ChaosWorkerGarbage, *workerGarbageAt
+		default:
+			fmt.Fprintln(os.Stderr, "chaos: -tcp-procs needs one of -worker-kill-at, -worker-stall-at, -worker-garbage-at")
+			os.Exit(2)
+		}
+		distributedHeal(distributedHealSpec{
+			m: *m, p: *p, rho: *rho, steps: *steps, seed: *seed, shards: *shards,
+			procs: *tcpProcs, mdrank: *mdrank,
+			kind: kind, at: at, proc: *workerProc, stall: *workerStallDur,
+			policy:  *recoverPolicy,
+			hbEvery: *hbEvery, hbMisses: *hbMisses,
+			retries: *maxRetries, backoff: *retryBackoff,
+			every: *ckptEvery, dir: *ckptDir,
+		})
+		return
+	}
 
 	if *panicAt > 0 || *corruptAt > 0 {
 		kind, at := permcell.SabotagePanic, *panicAt
@@ -192,6 +239,128 @@ func killResume(spec experiments.ChaosSpec, killAt int, dir string) {
 		os.Exit(1)
 	}
 	fmt.Printf("recovery identical: golden trace %016x reproduced across kill and restore\n", r.GoldenHash)
+}
+
+type distributedHealSpec struct {
+	m, p     int
+	rho      float64
+	steps    int
+	seed     uint64
+	shards   int
+	procs    int    // tcp worker-process count
+	mdrank   string // worker binary ("" = goroutine-hosted)
+	kind     string // permcell.ChaosWorker* kind
+	at       int    // chaos step
+	proc     int    // chaos target proc
+	stall    time.Duration
+	policy   string // respawn or rescale
+	hbEvery  time.Duration
+	hbMisses int
+	retries  int
+	backoff  time.Duration
+	every    int    // checkpoint cadence (0 = steps/4)
+	dir      string // checkpoint directory ("" = temporary)
+}
+
+// distributedHeal runs the distributed self-healing scenario: a golden run
+// on the in-process transport, then the identical run on the tcp transport
+// under the supervisor while one worker is killed, stalled or corrupted.
+// The supervisor must detect a typed WorkerFailure within the heartbeat
+// window, roll back, heal under the selected policy, and converge to the
+// golden trace — proving the cross-transport determinism contract holds
+// straight through a worker death. Exits non-zero on any miss.
+func distributedHeal(s distributedHealSpec) {
+	if s.dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-distrib-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		s.dir = tmp
+	}
+	if s.every <= 0 {
+		s.every = max(1, s.steps/4)
+	}
+	if s.proc >= s.procs {
+		s.proc = s.procs - 1
+	}
+	base := []permcell.Option{
+		permcell.WithDLB(), permcell.WithSeed(s.seed),
+		permcell.WithWells(1, 1.5), permcell.WithShards(s.shards),
+	}
+	workers := "goroutine-hosted workers"
+	if s.mdrank != "" {
+		workers = "mdrank processes (" + s.mdrank + ")"
+	}
+	fmt.Printf("distributed self-heal: %s on proc %d before step %d, %d %s, recover=%s\n",
+		s.kind, s.proc, s.at, s.procs, workers, s.policy)
+	fmt.Printf("  heartbeat %v x %d (window %v), checkpoints every %d, budget %d\n",
+		s.hbEvery, s.hbMisses, s.hbEvery*time.Duration(s.hbMisses), s.every, s.retries)
+
+	t0 := time.Now()
+	golden, err := permcell.Run(context.Background(), s.m, s.p, s.rho, s.steps, base...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: golden run:", err)
+		os.Exit(1)
+	}
+	goldenHash := experiments.TraceHash(golden.Stats)
+	fmt.Printf("golden (chan): N=%d trace %016x in %v\n",
+		golden.Final.Len(), goldenHash, time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	eng, err := permcell.New(s.m, s.p, s.rho, append(base,
+		permcell.WithTransport(permcell.Transport{
+			Kind:            permcell.TransportTCP,
+			Procs:           s.procs,
+			Worker:          s.mdrank,
+			HeartbeatEvery:  s.hbEvery,
+			HeartbeatMisses: s.hbMisses,
+			Chaos:           &permcell.WorkerChaos{Proc: s.proc, Step: s.at, Kind: s.kind, Stall: s.stall},
+		}),
+		permcell.WithCheckpoint(s.every, s.dir),
+		permcell.WithSupervisor(permcell.SupervisorPolicy{
+			MaxRetries:     s.retries,
+			Backoff:        s.backoff,
+			WorkerRecovery: s.policy,
+			OnEvent: func(ev permcell.SupervisorEvent) {
+				if ev.Kind == "rollback" {
+					fmt.Printf("  supervisor: rollback to step %d from %s\n", ev.RestoredStep, ev.Checkpoint)
+				} else {
+					fmt.Printf("  supervisor: %s at step %d: %s\n", ev.Kind, ev.Step, ev.Err)
+				}
+			},
+		}),
+	)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: supervised tcp run:", err)
+		os.Exit(1)
+	}
+	res, err := permcell.RunEngine(context.Background(), eng, s.steps)
+	rep := permcell.SupervisionReport(eng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: SUPERVISED TCP RUN FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	healedHash := experiments.TraceHash(res.Stats)
+	fmt.Printf("healed (tcp): trace %016x in %v; %d worker failures, %d rollbacks, %d retries, %d steps replayed\n",
+		healedHash, time.Since(t0).Round(time.Millisecond),
+		rep.WorkerFailures, rep.Rollbacks, rep.Retries, rep.StepsReplayed)
+	if rep.WorkerFailures == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: WORKER CHAOS DID NOT FIRE: no worker failure recorded")
+		os.Exit(1)
+	}
+	if rep.Rollbacks == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: NO ROLLBACK: the worker failure did not trigger recovery")
+		os.Exit(1)
+	}
+	if healedHash != goldenHash {
+		fmt.Fprintf(os.Stderr, "chaos: RECOVERY DIVERGED: golden %016x vs healed %016x\n",
+			goldenHash, healedHash)
+		os.Exit(1)
+	}
+	fmt.Printf("recovery identical: golden trace %016x reproduced across worker %s and %s\n",
+		goldenHash, s.kind, s.policy)
 }
 
 type selfHealSpec struct {

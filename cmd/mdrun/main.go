@@ -406,6 +406,7 @@ func main() {
 				Panics:          int64(rep.RankFailures),
 				GuardViolations: int64(rep.GuardViolations),
 				Deadlocks:       int64(rep.Deadlocks),
+				WorkerFailures:  int64(rep.WorkerFailures),
 				Rollbacks:       int64(rep.Rollbacks),
 				Retries:         int64(rep.Retries),
 				StepsReplayed:   int64(rep.StepsReplayed),

@@ -82,11 +82,15 @@ func checkTransport(o Options, parallel bool) error {
 		if !parallel {
 			return fmt.Errorf("permcell: the tcp transport supports only the parallel engine (New)")
 		}
-		if o.supervisor != nil {
-			return fmt.Errorf("permcell: WithSupervisor is not supported on the tcp transport")
-		}
 		if o.sabotage != nil {
 			return fmt.Errorf("permcell: WithSabotage is not supported on the tcp transport")
+		}
+		if c := o.transport.Chaos; c != nil {
+			switch c.Kind {
+			case ChaosWorkerExit, ChaosWorkerStall, ChaosWorkerGarbage:
+			default:
+				return fmt.Errorf("permcell: unknown worker chaos kind %q", c.Kind)
+			}
 		}
 		return nil
 	default:
@@ -114,6 +118,10 @@ func newDistributed(spec experiments.RunSpec, st *checkpoint.EngineState, o Opti
 	eng, err := distrib.Start(ws, distrib.Config{
 		Procs: o.transport.Procs, Worker: o.transport.Worker, Addr: o.transport.Addr,
 		OnStep: o.onStep, DiscardStats: o.discard,
+		HandshakeTimeout: o.transport.HandshakeTimeout,
+		HeartbeatEvery:   o.transport.HeartbeatEvery,
+		HeartbeatMisses:  o.transport.HeartbeatMisses,
+		Chaos:            o.transport.Chaos,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("permcell: %w", err)
@@ -245,6 +253,16 @@ func (e *parallelEngine) Step(n int) error {
 // goroutine appends to, so handing it out uncopied would let a caller alias
 // (and mutate) engine state mid-run.
 func (e *parallelEngine) Stats() []StepStats { return copyStats(e.eng.Stats()) }
+
+// TransportProcs reports the worker-process count of a tcp-backed engine
+// (0 in-process). The supervisor's rescale policy reads it to pick the
+// survivor count after a worker failure.
+func (e *parallelEngine) TransportProcs() int {
+	if p, ok := e.eng.(interface{ Procs() int }); ok {
+		return p.Procs()
+	}
+	return 0
+}
 func (e *parallelEngine) Result() (*Result, error) {
 	e.finished = true
 	return e.eng.Finish() // idempotent: memoizes its own outcome

@@ -241,6 +241,10 @@ func TestStatsReturnsCopy(t *testing.T) {
 				permcell.WithCheckpoint(0, dir),
 				permcell.WithSupervisor(permcell.SupervisorPolicy{MaxRetries: 1}))
 		},
+		"tcp": func() (permcell.Engine, error) {
+			return permcell.New(2, 4, 0.256,
+				permcell.WithTransport(permcell.Transport{Kind: permcell.TransportTCP, Procs: 2}))
+		},
 	}
 	for name, build := range engines {
 		t.Run(name, func(t *testing.T) {

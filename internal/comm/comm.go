@@ -48,8 +48,26 @@ type World struct {
 	fs       *faultState
 	track    *tracker
 
+	poison     chan struct{} // closed by Poison; unblocks every pending Recv
+	poisonOnce sync.Once
+	poisonWhy  string // written before poison closes (happens-before via close)
+
 	msgs  atomic.Int64
 	bytes atomic.Int64
+}
+
+// Poison marks the world's message substrate as dead: every rank blocked
+// in (or later entering) the receive wait panics with the given reason
+// instead of waiting for a message that can no longer arrive. The engine's
+// rank trap converts that panic into a typed *supervise.RankFailure, so a
+// partial world whose coordinator link died mid-batch unwinds promptly —
+// without it, the hosting worker process would hang in Step forever,
+// leaking an orphan that outlives its coordinator. Idempotent.
+func (w *World) Poison(reason string) {
+	w.poisonOnce.Do(func() {
+		w.poisonWhy = reason
+		close(w.poison)
+	})
 }
 
 // Option configures a World at construction time.
@@ -98,11 +116,12 @@ func NewWorld(p int, opts ...Option) (*World, error) {
 		return nil, fmt.Errorf("comm: world size must be >= 1, got %d", p)
 	}
 	w := &World{
-		size:  p,
-		inbox: make([]chan message, p),
-		start: time.Now(),
-		bar:   newBarrier(p),
-		local: make([]int, p),
+		size:   p,
+		inbox:  make([]chan message, p),
+		start:  time.Now(),
+		bar:    newBarrier(p),
+		local:  make([]int, p),
+		poison: make(chan struct{}),
 	}
 	for i := range w.local {
 		w.local[i] = i
@@ -290,13 +309,18 @@ func (c *Comm) Recv(src, tag int) any {
 		}
 	}
 	for {
-		m := <-c.w.inbox[c.rank]
-		if m.src == src && m.tag == tag {
-			return m.data
-		}
-		c.pending = append(c.pending, m)
-		if c.tr != nil {
-			c.tr.setPending(c.pending) // keep the watchdog dump current while blocked
+		select {
+		case m := <-c.w.inbox[c.rank]:
+			if m.src == src && m.tag == tag {
+				return m.data
+			}
+			c.pending = append(c.pending, m)
+			if c.tr != nil {
+				c.tr.setPending(c.pending) // keep the watchdog dump current while blocked
+			}
+		case <-c.w.poison:
+			panic(fmt.Sprintf("comm: world poisoned while rank %d awaited src=%d tag=%d: %s",
+				c.rank, src, tag, c.w.poisonWhy))
 		}
 	}
 }

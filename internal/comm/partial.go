@@ -56,6 +56,7 @@ func NewPartialWorld(p int, local []int, remote Remote, opts ...Option) (*World,
 		inbox:  make([]chan message, p),
 		start:  time.Now(),
 		remote: remote,
+		poison: make(chan struct{}),
 	}
 	seen := make([]bool, p)
 	for _, r := range local {

@@ -1,10 +1,12 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
+	"sync/atomic"
 	"time"
 
 	"permcell/internal/checkpoint"
@@ -29,11 +31,42 @@ type Config struct {
 	// after streaming instead of accumulating the trace.
 	OnStep       func(core.StepStats)
 	DiscardStats bool
+
+	// HandshakeTimeout bounds the accept+hello+spec phase per worker so a
+	// worker that dies before connecting fails Start instead of hanging
+	// it. 0 selects DefaultHandshakeTimeout. It is also passed to exec'd
+	// workers (-handshake-timeout), bounding their hello->spec wait.
+	HandshakeTimeout time.Duration
+
+	// HeartbeatEvery is the heartbeat send interval on every
+	// coordinator<->worker link; HeartbeatMisses is the miss budget. A
+	// link with no frame for Every x Misses is declared dead
+	// (FailHeartbeat). 0 selects the defaults; Every < 0 disables
+	// liveness entirely (no heartbeats, unbounded mid-run reads — the
+	// pre-liveness behavior, kept for debugging).
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+
+	// Chaos, when non-nil, injects one deterministic worker failure; see
+	// WorkerChaos. One-shot: spent when first shipped, so supervised
+	// restarts do not re-fire it.
+	Chaos *WorkerChaos
 }
 
-// handshakeTimeout bounds the accept+hello phase so a worker that dies
-// before connecting fails Start instead of hanging it.
-const handshakeTimeout = 60 * time.Second
+// Liveness defaults: a second between beats with a five-miss budget keeps
+// idle-link overhead negligible (one 17-byte frame/s) while bounding
+// detection of a wedged peer at ~5 s. Tests shrink both.
+const (
+	DefaultHandshakeTimeout = 60 * time.Second
+	DefaultHeartbeatEvery   = 1 * time.Second
+	DefaultHeartbeatMisses  = 5
+)
+
+// shutdownGrace is how long shutdown waits for an exec'd worker to exit
+// after its connection closes before escalating to SIGKILL. The escalation
+// matters: a SIGSTOP'd worker never notices the closed socket, and SIGKILL
+// is the only signal a stopped process cannot ignore.
+const shutdownGrace = 2 * time.Second
 
 // Engine drives W worker processes in lockstep and presents the same
 // stepwise surface as core.Engine: Step, AbsStep, Snapshot, Stats,
@@ -43,13 +76,20 @@ const handshakeTimeout = 60 * time.Second
 type Engine struct {
 	spec    WireSpec
 	peers   []*transport.Peer
-	procOf  []int // rank -> hosting proc
+	procOf  []int   // rank -> hosting proc
+	ranks   [][]int // proc -> hosted rank block
+	last    []frameLog
 	ctrl    chan ctrlFrame
 	fatal   chan error
 	cmds    []*exec.Cmd
+	reaped  []chan error // closed by the exit watcher once cmd.Wait returns
 	stats   []core.StepStats
 	onStep  func(core.StepStats)
 	discard bool
+
+	hbEvery time.Duration // <= 0: liveness disabled
+	hbStop  chan struct{}
+	closing atomic.Bool
 
 	base      int   // absolute step at start (restore offset)
 	baseMsgs  int64 // comm counters carried over from the restored run
@@ -78,6 +118,17 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 	if w > spec.P {
 		return nil, fmt.Errorf("distrib: %d worker processes for %d ranks", w, spec.P)
 	}
+	handshake := cfg.HandshakeTimeout
+	if handshake <= 0 {
+		handshake = DefaultHandshakeTimeout
+	}
+	hbEvery, hbMisses := cfg.HeartbeatEvery, cfg.HeartbeatMisses
+	if hbEvery == 0 {
+		hbEvery = DefaultHeartbeatEvery
+	}
+	if hbMisses <= 0 {
+		hbMisses = DefaultHeartbeatMisses
+	}
 	addr := cfg.Addr
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -93,29 +144,53 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 		spec:    spec,
 		peers:   make([]*transport.Peer, w),
 		procOf:  make([]int, spec.P),
+		ranks:   make([][]int, w),
+		last:    make([]frameLog, w),
 		ctrl:    make(chan ctrlFrame, 4*w),
 		fatal:   make(chan error, w),
 		onStep:  cfg.OnStep,
 		discard: cfg.DiscardStats,
+		hbEvery: hbEvery,
+		hbStop:  make(chan struct{}),
 	}
 	if spec.Restore != nil {
 		e.base = spec.Restore.Step
 		e.baseMsgs = spec.Restore.CommMsgs
 		e.baseBytes = spec.Restore.CommBytes
 	}
+	spec.HeartbeatEvery = hbEvery
+	spec.HeartbeatMisses = hbMisses
 
 	// Launch the workers. Process identity is assigned in accept order,
 	// which is safe because the delivery contract is placement
 	// independent: any worker can host any rank block.
 	if cfg.Worker != "" {
 		for i := 0; i < w; i++ {
-			cmd := exec.Command(cfg.Worker, "-connect", dialAddr)
+			cmd := exec.Command(cfg.Worker,
+				"-connect", dialAddr,
+				"-handshake-timeout", handshake.String())
 			cmd.Stderr = os.Stderr
 			if err := cmd.Start(); err != nil {
 				e.shutdown()
 				return nil, fmt.Errorf("distrib: start worker: %w", err)
 			}
 			e.cmds = append(e.cmds, cmd)
+			e.reaped = append(e.reaped, make(chan error, 1))
+			// Exit watcher: owns the single cmd.Wait. A worker dying
+			// outside shutdown is a failure even if its socket lingers
+			// (accept-order identity means the watcher cannot name the
+			// proc; the router's EOF usually attributes it first).
+			go func(cmd *exec.Cmd, reaped chan error) {
+				werr := cmd.Wait()
+				reaped <- werr
+				close(reaped)
+				if !e.closing.Load() {
+					e.fail(&WorkerFailure{
+						Proc: -1, Kind: FailExited,
+						Err: fmt.Errorf("worker process exited mid-run: %v", werr),
+					})
+				}
+			}(cmd, e.reaped[i])
 		}
 	} else {
 		for i := 0; i < w; i++ {
@@ -124,7 +199,7 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 				if derr != nil {
 					return // surfaces as an accept timeout
 				}
-				if werr := RunWorker(conn); werr != nil {
+				if werr := RunWorkerWith(conn, WorkerOptions{HandshakeTimeout: handshake}); werr != nil {
 					fmt.Fprintf(os.Stderr, "distrib: worker: %v\n", werr)
 				}
 			}()
@@ -133,7 +208,7 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 
 	// Accept + hello, then deal each worker its spec.
 	if tl, ok := ln.(*net.TCPListener); ok {
-		tl.SetDeadline(time.Now().Add(handshakeTimeout))
+		tl.SetDeadline(time.Now().Add(handshake))
 	}
 	for i := 0; i < w; i++ {
 		conn, aerr := ln.Accept()
@@ -142,7 +217,7 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("distrib: accept worker %d/%d: %w", i, w, aerr)
 		}
 		peer := transport.NewPeer(conn)
-		conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		conn.SetReadDeadline(time.Now().Add(handshake))
 		fr, herr := peer.Recv()
 		if herr != nil || fr.Kind != transport.KindHello {
 			e.peers[i] = peer
@@ -151,12 +226,26 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 		}
 		conn.SetReadDeadline(time.Time{})
 		e.peers[i] = peer
+		if hbEvery > 0 {
+			// The liveness window: a healthy peer's heartbeats arrive
+			// every hbEvery, so hbMisses consecutive losses trip the
+			// per-Recv deadline. The same window bounds writes, so a
+			// peer that stops draining its socket cannot wedge Send.
+			window := hbEvery * time.Duration(hbMisses)
+			peer.SetTimeouts(window, window)
+		}
 
 		ws := spec
 		ws.Proc = i
 		ws.Ranks = RanksOf(spec.P, w, i)
+		e.ranks[i] = ws.Ranks
 		for _, r := range ws.Ranks {
 			e.procOf[r] = i
+		}
+		if cfg.Chaos != nil && cfg.Chaos.Proc == i && cfg.Chaos.take() {
+			ws.Chaos = cfg.Chaos.shipCopy()
+		} else {
+			ws.Chaos = nil
 		}
 		payload, perr := transport.EncodePayload(ws)
 		if perr != nil {
@@ -174,8 +263,13 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 	// goroutine per source connection preserves per-source frame order,
 	// which together with the workers' single reader keeps the
 	// per-(src,tag) FIFO delivery contract intact across the star.
+	// Heartbeat senders keep every link inside the workers' read windows
+	// even when the coordinator is idle between commands.
 	for i := 0; i < w; i++ {
 		go e.route(i)
+		if hbEvery > 0 {
+			go e.heartbeat(i)
+		}
 	}
 
 	// Every worker reports construction (an empty StepAck).
@@ -186,26 +280,78 @@ func Start(spec WireSpec, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// fail records a worker failure; the first one wins, later ones drop (the
+// run is already dead and the collector only consumes one).
+func (e *Engine) fail(f *WorkerFailure) {
+	select {
+	case e.fatal <- f:
+	default:
+	}
+}
+
+// linkFailure builds the typed failure for a broken proc link, attaching
+// the rank block and last-frame forensics.
+func (e *Engine) linkFailure(proc int, kind FailureKind, err error) *WorkerFailure {
+	return &WorkerFailure{
+		Proc:      proc,
+		Ranks:     e.ranks[proc],
+		Kind:      kind,
+		Err:       err,
+		Forensics: e.last[proc].describe(),
+	}
+}
+
+// heartbeat keeps one worker link alive from the coordinator side. Runs
+// until shutdown or the first send error (a dead link is the router's
+// failure to report, not this goroutine's).
+func (e *Engine) heartbeat(proc int) {
+	t := time.NewTicker(e.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.hbStop:
+			return
+		case <-t.C:
+			if e.peers[proc].Send(transport.Frame{Kind: transport.KindHeartbeat, Src: -1, Dst: -1}) != nil {
+				return
+			}
+		}
+	}
+}
+
 func (e *Engine) route(proc int) {
 	for {
 		fr, err := e.peers[proc].Recv()
 		if err != nil {
-			e.fatal <- fmt.Errorf("distrib: worker %d connection: %w", proc, err)
+			if e.peers[proc].Closed() || errors.Is(err, transport.ErrPeerClosed) {
+				return // local teardown, not a worker failure
+			}
+			e.fail(e.linkFailure(proc, classifyLinkError(err), err))
 			return
 		}
-		if fr.Kind == transport.KindData {
+		e.last[proc].note(fr)
+		switch fr.Kind {
+		case transport.KindHeartbeat:
+			continue
+		case transport.KindData:
 			dst := int(fr.Dst)
 			if dst < 0 || dst >= len(e.procOf) {
-				e.fatal <- fmt.Errorf("distrib: data frame for rank %d out of range", dst)
+				e.fail(e.linkFailure(proc, FailProtocol,
+					fmt.Errorf("data frame for rank %d out of range", dst)))
 				return
 			}
-			if err := e.peers[e.procOf[dst]].Send(fr); err != nil {
-				e.fatal <- fmt.Errorf("distrib: forward to worker %d: %w", e.procOf[dst], err)
+			to := e.procOf[dst]
+			if err := e.peers[to].Send(fr); err != nil {
+				if e.peers[to].Closed() || errors.Is(err, transport.ErrPeerClosed) {
+					return
+				}
+				e.fail(e.linkFailure(to, classifyLinkError(err),
+					fmt.Errorf("forward from proc %d: %w", proc, err)))
 				return
 			}
-			continue
+		default:
+			e.ctrl <- ctrlFrame{proc: proc, frame: fr}
 		}
-		e.ctrl <- ctrlFrame{proc: proc, frame: fr}
 	}
 }
 
@@ -213,15 +359,16 @@ func (e *Engine) route(proc int) {
 func (e *Engine) broadcast(f transport.Frame) error {
 	for i, p := range e.peers {
 		if err := p.Send(f); err != nil {
-			return fmt.Errorf("distrib: command to worker %d: %w", i, err)
+			return e.linkFailure(i, classifyLinkError(err), fmt.Errorf("command: %w", err))
 		}
 	}
 	return nil
 }
 
 // collect gathers one control ack of the given kind from every worker
-// and returns the decoded payloads indexed by arrival. Any connection
-// fault or mismatched frame kind aborts the batch.
+// and returns the decoded payloads indexed by arrival. Any link failure,
+// mismatched frame kind or undecodable payload aborts the batch with a
+// typed WorkerFailure.
 func (e *Engine) collect(kind byte) ([]any, error) {
 	out := make([]any, 0, len(e.peers))
 	for len(out) < len(e.peers) {
@@ -230,11 +377,13 @@ func (e *Engine) collect(kind byte) ([]any, error) {
 			return nil, err
 		case cf := <-e.ctrl:
 			if cf.frame.Kind != kind {
-				return nil, fmt.Errorf("distrib: worker %d sent frame kind %d, want %d", cf.proc, cf.frame.Kind, kind)
+				return nil, e.linkFailure(cf.proc, FailProtocol,
+					fmt.Errorf("sent frame kind %d, want %d", cf.frame.Kind, kind))
 			}
 			v, err := transport.DecodePayload(cf.frame.Payload)
 			if err != nil {
-				return nil, fmt.Errorf("distrib: decode ack from worker %d: %w", cf.proc, err)
+				return nil, e.linkFailure(cf.proc, FailFrameDecode,
+					fmt.Errorf("decode ack: %w", err))
 			}
 			out = append(out, v)
 		}
@@ -277,6 +426,10 @@ func (e *Engine) Step(n int) error {
 			e.err = fmt.Errorf("distrib: step ack payload is %T", v)
 			return e.err
 		}
+		if ack.Failure != nil {
+			e.err = ack.Failure.rebuild(ack.Proc)
+			return e.err
+		}
 		if ack.Err != "" {
 			e.err = fmt.Errorf("distrib: worker %d: %s", ack.Proc, ack.Err)
 			return e.err
@@ -306,8 +459,17 @@ func (e *Engine) Step(n int) error {
 // AbsStep returns the absolute time step, counting any restored prefix.
 func (e *Engine) AbsStep() int { return e.base + e.stepped }
 
-// Stats returns the accumulated step records.
-func (e *Engine) Stats() []core.StepStats { return e.stats }
+// Procs returns the number of worker processes the engine is running on.
+// The supervisor's rescale policy reads it to pick the survivor count.
+func (e *Engine) Procs() int { return len(e.peers) }
+
+// Stats returns a copy of the accumulated step records; mutating it does
+// not affect the engine's trace.
+func (e *Engine) Stats() []core.StepStats {
+	out := make([]core.StepStats, len(e.stats))
+	copy(out, e.stats)
+	return out
+}
 
 // Snapshot assembles a full checkpoint from the per-worker frame sets at
 // the current batch boundary. The comm counters continue the restored
@@ -412,15 +574,25 @@ func (e *Engine) Finish() (*core.Result, error) {
 }
 
 // shutdown closes every connection and reaps worker processes. Closing a
-// connection unblocks the worker's reader, which exits RunWorker; after
-// a clean Finish the workers have already exited on their own.
+// connection unblocks the worker's reader, which exits RunWorker; a worker
+// that does not exit within the grace window (wedged, SIGSTOP'd) is
+// SIGKILLed — recovery must never wait on a stuck process. Idempotent.
 func (e *Engine) shutdown() {
+	if !e.closing.CompareAndSwap(false, true) {
+		return
+	}
+	close(e.hbStop)
 	for _, p := range e.peers {
 		if p != nil {
 			p.Close()
 		}
 	}
-	for _, cmd := range e.cmds {
-		cmd.Wait()
+	for i, cmd := range e.cmds {
+		select {
+		case <-e.reaped[i]:
+		case <-time.After(shutdownGrace):
+			cmd.Process.Kill()
+			<-e.reaped[i]
+		}
 	}
 }

@@ -18,6 +18,7 @@ package distrib
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"time"
 
@@ -56,6 +57,15 @@ type WireSpec struct {
 	Watchdog time.Duration
 	Faults   *comm.FaultPlan
 	Guard    *supervise.GuardConfig
+
+	// Liveness parameters, mirrored from Config so the worker arms the
+	// same heartbeat cadence and read window as the coordinator.
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+
+	// Chaos, when non-nil, is this worker's deterministic failure
+	// injection (the coordinator ships it only to the target proc).
+	Chaos *WorkerChaos
 
 	// Restore, when non-nil, resumes from a distributed snapshot. Every
 	// worker receives the full state: rebuilding the global column->host
@@ -97,17 +107,71 @@ func (s *WireSpec) buildConfig() (core.Config, workload.System, error) {
 }
 
 // StepAck is a worker's reply to a Step command (and, with zero stats,
-// the ready signal after engine construction). Typed engine errors
-// flatten to strings at the process boundary — the coordinator surfaces
-// them as plain errors; supervisor-grade typed recovery stays an
-// in-process feature.
+// the ready signal after engine construction). Supervised failure classes
+// (guard violations, rank panics, deadlocks) cross the boundary typed via
+// Failure so the coordinator-side supervisor classifies worker-internal
+// failures exactly like in-process ones; anything else flattens to Err.
 type StepAck struct {
 	Proc      int
 	Stats     []core.StepStats // new records since the last ack (rank-0 proc only)
 	Transport comm.TransportStats
 	Msgs      int64
 	Bytes     int64
+	Failure   *WireFailure
 	Err       string
+}
+
+// WireFailure carries a supervised failure class across the process
+// boundary. Class selects which typed error the coordinator rebuilds;
+// only that class's fields are meaningful.
+type WireFailure struct {
+	Class string // "guard" | "rank" | "deadlock"
+
+	// guard (supervise.GuardViolation)
+	Rank   int
+	Step   int
+	Check  string
+	Detail string
+
+	// rank (supervise.RankFailure; Rank shared with guard)
+	Value string
+	Stack string
+
+	// deadlock (comm.DeadlockError; per-rank states stay worker-side,
+	// the stacks and timeout carry the diagnosis)
+	Timeout time.Duration
+	Stacks  string
+}
+
+// wireFailure flattens a worker-side engine error into its wire form, or
+// nil for error classes without one (the caller falls back to Err).
+func wireFailure(err error) *WireFailure {
+	var gv *supervise.GuardViolation
+	var rf *supervise.RankFailure
+	var de *comm.DeadlockError
+	switch {
+	case errors.As(err, &gv):
+		return &WireFailure{Class: "guard", Rank: gv.Rank, Step: gv.Step, Check: gv.Check, Detail: gv.Detail}
+	case errors.As(err, &rf):
+		return &WireFailure{Class: "rank", Rank: rf.Rank, Value: rf.Value, Stack: rf.Stack}
+	case errors.As(err, &de):
+		return &WireFailure{Class: "deadlock", Timeout: de.Timeout, Stacks: de.Stacks}
+	}
+	return nil
+}
+
+// rebuild reconstructs the typed error on the coordinator side.
+func (w *WireFailure) rebuild(proc int) error {
+	switch w.Class {
+	case "guard":
+		return &supervise.GuardViolation{Rank: w.Rank, Step: w.Step, Check: w.Check, Detail: w.Detail}
+	case "rank":
+		return &supervise.RankFailure{Rank: w.Rank, Value: w.Value, Stack: w.Stack}
+	case "deadlock":
+		return &comm.DeadlockError{Timeout: w.Timeout, Stacks: w.Stacks}
+	default:
+		return fmt.Errorf("distrib: worker %d: unknown failure class %q", proc, w.Class)
+	}
 }
 
 // SnapAck carries one worker's checkpoint frames and its share of the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"permcell/internal/comm"
 	"permcell/internal/core"
@@ -40,22 +41,48 @@ func (r *peerRemote) Stats() (frames, bytes int64) {
 	return r.frames.Load(), r.bytes.Load()
 }
 
+// WorkerOptions tunes the worker side of the protocol.
+type WorkerOptions struct {
+	// HandshakeTimeout bounds the hello->spec exchange; 0 selects
+	// DefaultHandshakeTimeout. The coordinator passes its own value to
+	// exec'd workers via mdrank's -handshake-timeout flag so both sides
+	// give up together.
+	HandshakeTimeout time.Duration
+}
+
 // RunWorker services one worker process (or goroutine-hosted worker) on
-// an established coordinator connection: handshake, build the partial
-// engine from the wire spec, then serve Step/Snapshot/Finish commands
-// until the final ResultAck. Returns on protocol completion (nil) or the
-// first connection/engine fault.
+// an established coordinator connection with default options.
 func RunWorker(conn net.Conn) error {
+	return RunWorkerWith(conn, WorkerOptions{})
+}
+
+// RunWorkerWith services one worker connection: handshake, build the
+// partial engine from the wire spec, then serve Step/Snapshot/Finish
+// commands until the final ResultAck. Returns on protocol completion
+// (nil) or the first connection/engine fault.
+//
+// Liveness is symmetric: once the spec arrives the worker heartbeats at
+// the spec's cadence and arms the same read window on its own receives,
+// so a dead or wedged coordinator kills the worker within the window
+// instead of leaving an orphan process holding the engine.
+func RunWorkerWith(conn net.Conn, opts WorkerOptions) error {
 	peer := transport.NewPeer(conn)
 	defer peer.Close()
+
+	handshake := opts.HandshakeTimeout
+	if handshake <= 0 {
+		handshake = DefaultHandshakeTimeout
+	}
 
 	if err := peer.Send(transport.Frame{Kind: transport.KindHello}); err != nil {
 		return fmt.Errorf("distrib: hello: %w", err)
 	}
+	conn.SetReadDeadline(time.Now().Add(handshake))
 	fr, err := peer.Recv()
 	if err != nil {
 		return fmt.Errorf("distrib: await spec: %w", err)
 	}
+	conn.SetReadDeadline(time.Time{})
 	if fr.Kind != transport.KindSpec {
 		return fmt.Errorf("distrib: expected spec frame, got kind %d", fr.Kind)
 	}
@@ -66,6 +93,40 @@ func RunWorker(conn net.Conn) error {
 	spec, ok := v.(WireSpec)
 	if !ok {
 		return fmt.Errorf("distrib: spec payload is %T, want WireSpec", v)
+	}
+
+	// Arm liveness before engine construction: the coordinator's read
+	// window is already ticking, so heartbeats must flow while NewPartial
+	// builds (which can be slow for large systems). hbPause models a
+	// stalled process for ChaosStall — a SIGSTOP'd worker's heartbeat
+	// goroutine stops too.
+	var hbPause atomic.Bool
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	if spec.HeartbeatEvery > 0 {
+		misses := spec.HeartbeatMisses
+		if misses <= 0 {
+			misses = DefaultHeartbeatMisses
+		}
+		window := spec.HeartbeatEvery * time.Duration(misses)
+		peer.SetTimeouts(window, window)
+		go func() {
+			t := time.NewTicker(spec.HeartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if hbPause.Load() {
+						continue
+					}
+					if peer.Send(transport.Frame{Kind: transport.KindHeartbeat, Src: int32(spec.Proc), Dst: -1}) != nil {
+						return
+					}
+				}
+			}
+		}()
 	}
 
 	sendAck := func(kind byte, ack any) error {
@@ -89,32 +150,54 @@ func RunWorker(conn net.Conn) error {
 
 	// Reader goroutine: the only consumer of the connection from here on.
 	// Data frames are injected into the partial world immediately (PEs
-	// block on them mid-batch); control frames queue for the serve loop.
+	// block on them mid-batch); heartbeats are dropped after proving
+	// liveness (arming the read deadline happens per Recv); control
+	// frames queue for the serve loop.
 	world := part.World()
 	ctrl := make(chan transport.Frame, 4)
 	readErr := make(chan error, 1)
+	// When the link dies the serve loop may be blocked inside part.Step
+	// waiting on halo data that will never arrive, so a read error must
+	// also poison the world: blocked ranks unwind through the trap, Step
+	// returns, and the process exits instead of orphaning itself.
+	fail := func(rerr error) {
+		world.Poison(rerr.Error())
+		readErr <- rerr
+	}
 	go func() {
 		for {
 			f, rerr := peer.Recv()
 			if rerr != nil {
-				readErr <- rerr
+				fail(rerr)
 				return
 			}
-			if f.Kind == transport.KindData {
+			switch f.Kind {
+			case transport.KindHeartbeat:
+				continue
+			case transport.KindData:
 				data, derr := transport.DecodePayload(f.Payload)
 				if derr != nil {
-					readErr <- fmt.Errorf("distrib: decode data frame: %w", derr)
+					fail(fmt.Errorf("distrib: decode data frame: %w", derr))
 					return
 				}
 				if ierr := world.Inject(int(f.Src), int(f.Dst), int(f.Tag), data, 0); ierr != nil {
-					readErr <- ierr
+					fail(ierr)
 					return
 				}
-				continue
+			default:
+				ctrl <- f
 			}
-			ctrl <- f
 		}
 	}()
+
+	// Absolute-step tracking for deterministic chaos: the trigger fires
+	// immediately before the batch that would execute its step.
+	base := 0
+	if spec.Restore != nil {
+		base = spec.Restore.Step
+	}
+	stepped := 0
+	chaos := spec.Chaos
 
 	for {
 		select {
@@ -123,11 +206,22 @@ func RunWorker(conn net.Conn) error {
 		case f := <-ctrl:
 			switch f.Kind {
 			case transport.KindStep:
-				serr := part.Step(int(f.Tag))
+				n := int(f.Tag)
+				if chaos != nil && chaos.Step > base+stepped && chaos.Step <= base+stepped+n {
+					if err := fireChaos(chaos, conn, peer, &hbPause); err != nil {
+						return err
+					}
+					chaos = nil
+				}
+				serr := part.Step(n)
+				if serr == nil {
+					stepped += n
+				}
 				ack := StepAck{
 					Proc:      spec.Proc,
 					Stats:     part.TakeStats(),
 					Transport: part.TransportStats(),
+					Failure:   wireFailure(serr),
 					Err:       errString(serr),
 				}
 				ack.Msgs, ack.Bytes = part.Stats()
@@ -162,6 +256,37 @@ func RunWorker(conn net.Conn) error {
 				return fmt.Errorf("distrib: unexpected control frame kind %d", f.Kind)
 			}
 		}
+	}
+}
+
+// fireChaos executes one injected failure. Exit and garbage return an
+// error (the worker dies, as the real fault would); a stall returns nil
+// and the worker resumes — whether the run survives depends on whether
+// the stall outlasted the coordinator's heartbeat window, exactly like a
+// real SIGSTOP/SIGCONT pair.
+func fireChaos(c *WorkerChaos, conn net.Conn, peer *transport.Peer, hbPause *atomic.Bool) error {
+	switch c.Kind {
+	case ChaosExit:
+		peer.Close()
+		return fmt.Errorf("distrib: chaos: worker %d exiting before step %d", c.Proc, c.Step)
+	case ChaosStall:
+		hbPause.Store(true)
+		time.Sleep(c.Stall)
+		hbPause.Store(false)
+		return nil
+	case ChaosGarbage:
+		// A lying length prefix: 0xFFFFFFFF decodes as a frame far over
+		// MaxPayload, desynchronizing the stream. Raw conn writes are
+		// stream-atomic per call, so this lands between frames, not
+		// inside a concurrent heartbeat. Linger with the socket open so
+		// the coordinator's reader hits the bad length (frame-decode)
+		// rather than racing it with a broken pipe from our own exit.
+		hbPause.Store(true)
+		conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+		time.Sleep(time.Second)
+		return fmt.Errorf("distrib: chaos: worker %d wrote garbage before step %d", c.Proc, c.Step)
+	default:
+		return fmt.Errorf("distrib: chaos: unknown kind %q", c.Kind)
 	}
 }
 

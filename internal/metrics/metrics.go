@@ -361,6 +361,7 @@ type Recovery struct {
 	Panics          int64
 	GuardViolations int64
 	Deadlocks       int64
+	WorkerFailures  int64
 	Rollbacks       int64
 	Retries         int64
 	StepsReplayed   int64
@@ -421,6 +422,7 @@ func recoveryFamilies(r *Recovery) []struct {
 		{"permcell_recovery_panics_total", "PE panics caught by the supervisor.", r.Panics},
 		{"permcell_recovery_guard_violations_total", "Physics-guard violations caught by the supervisor.", r.GuardViolations},
 		{"permcell_recovery_deadlocks_total", "Watchdog deadlocks caught by the supervisor.", r.Deadlocks},
+		{"permcell_transport_worker_failures_total", "Distributed worker failures (exits, heartbeat timeouts, frame corruption, protocol violations) caught by the supervisor.", r.WorkerFailures},
 		{"permcell_recovery_rollbacks_total", "Checkpoint rollbacks performed by the supervisor.", r.Rollbacks},
 		{"permcell_recovery_retries_total", "Recovery attempts consumed from the retry budget.", r.Retries},
 		{"permcell_recovery_steps_replayed_total", "Steps re-executed during post-rollback replay.", r.StepsReplayed},

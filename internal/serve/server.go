@@ -484,6 +484,7 @@ func (r *Run) recordSupervision(rep *permcell.SupervisorReport) {
 	rec.Panics += int64(rep.RankFailures)
 	rec.GuardViolations += int64(rep.GuardViolations)
 	rec.Deadlocks += int64(rep.Deadlocks)
+	rec.WorkerFailures += int64(rep.WorkerFailures)
 	rec.Rollbacks += int64(rep.Rollbacks)
 	rec.Retries += int64(rep.Retries)
 	rec.StepsReplayed += int64(rep.StepsReplayed)

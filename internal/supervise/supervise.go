@@ -104,10 +104,22 @@ type Policy struct {
 	MaxBackoff time.Duration
 	// Guard tunes the runtime physics guards.
 	Guard GuardConfig
+	// WorkerRecovery selects how a distributed worker failure heals:
+	// RecoverRespawn (the default, also chosen by "") restarts at the same
+	// worker-process count; RecoverRescale restarts on one fewer process,
+	// shedding the failed worker's slot onto the survivors. Ignored by
+	// in-process engines, which have no worker processes to lose.
+	WorkerRecovery string
 	// OnEvent, when non-nil, observes every supervision event as it
 	// happens (failure, rollback, resume, give-up).
 	OnEvent func(Event)
 }
+
+// WorkerRecovery policies.
+const (
+	RecoverRespawn = "respawn"
+	RecoverRescale = "rescale"
+)
 
 // BackoffFor returns the delay before retry attempt (1-based), growing
 // exponentially from Backoff and capped at MaxBackoff.
@@ -139,6 +151,7 @@ const (
 	EventRankFailure    = "rank-failure"    // a PE goroutine panicked
 	EventGuardViolation = "guard-violation" // a physics guard fired
 	EventDeadlock       = "deadlock"        // the comm watchdog fired
+	EventWorkerFailure  = "worker-failure"  // a distributed worker process/link died
 	EventRollback       = "rollback"        // state restored from a checkpoint
 	EventGiveUp         = "give-up"         // retry budget exhausted
 )
@@ -167,6 +180,9 @@ type Report struct {
 	Events []Event
 	// Failure-class counters.
 	RankFailures, GuardViolations, Deadlocks int
+	// WorkerFailures counts distributed worker failures (process exits,
+	// heartbeat timeouts, frame corruption, protocol violations).
+	WorkerFailures int
 	// Recovery counters.
 	Rollbacks, Retries int
 	// StepsReplayed counts re-executed step records suppressed during

@@ -38,7 +38,11 @@ const (
 	KindSnapAck   byte = 7 // worker -> coordinator: local checkpoint frames
 	KindFinish    byte = 8 // coordinator -> worker: finalize the run
 	KindResultAck byte = 9 // worker -> coordinator: final result share
-	maxKind            = KindResultAck
+	// KindHeartbeat keeps an otherwise-idle link inside its read deadline.
+	// Payload-free, carries no protocol state, and both sides discard it on
+	// receipt; its only job is to prove the peer's event loop is alive.
+	KindHeartbeat byte = 10
+	maxKind            = KindHeartbeat
 )
 
 // MaxPayload bounds a single frame's payload. The largest legitimate
@@ -61,6 +65,12 @@ type Frame struct {
 
 // ErrFrameTooLarge is returned when a length prefix exceeds MaxPayload.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds max payload")
+
+// ErrMalformedFrame marks structurally illegal frames (length below the
+// header size, unknown kind). Wrapped — use errors.Is. A reader hitting it
+// must treat the stream as unsynchronized: framing cannot be recovered
+// past a corrupt header.
+var ErrMalformedFrame = errors.New("transport: malformed frame")
 
 // EncodeFrame writes f to w in wire format.
 func EncodeFrame(w io.Writer, f Frame) error {
@@ -99,7 +109,7 @@ func DecodeFrame(r io.Reader) (Frame, error) {
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n < headerLen {
-		return Frame{}, fmt.Errorf("transport: frame length %d below header size", n)
+		return Frame{}, fmt.Errorf("%w: length %d below header size", ErrMalformedFrame, n)
 	}
 	if n > headerLen+MaxPayload {
 		return Frame{}, ErrFrameTooLarge
@@ -115,7 +125,7 @@ func DecodeFrame(r io.Reader) (Frame, error) {
 		Tag:  int32(binary.BigEndian.Uint32(hdr[9:13])),
 	}
 	if f.Kind == 0 || f.Kind > maxKind {
-		return Frame{}, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+		return Frame{}, fmt.Errorf("%w: unknown kind %d", ErrMalformedFrame, f.Kind)
 	}
 	if pl := int64(n) - headerLen; pl > 0 {
 		// CopyN into a growable buffer: the buffer only ever holds bytes

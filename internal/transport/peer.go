@@ -2,10 +2,28 @@ package transport
 
 import (
 	"bufio"
+	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ErrPeerClosed is returned by Send (and Recv) after Close: the shutdown
+// path and the recovery path can both tear a peer down, so a send racing
+// the teardown must surface as this typed, expected error rather than as a
+// raw "use of closed network connection" that would be mistaken for a
+// worker failure.
+var ErrPeerClosed = errors.New("transport: peer closed")
+
+// deadliner is the optional per-direction deadline surface of the wrapped
+// connection (net.Conn and net.Pipe implement it; plain pipes in tests may
+// not, in which case timeouts silently stay disarmed).
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
 
 // Peer wraps one connection with buffered, mutex-serialized frame writes
 // and sent-traffic counters. Sends may come from many goroutines (every
@@ -22,6 +40,13 @@ type Peer struct {
 	mu sync.Mutex
 	bw *bufio.Writer
 
+	closed atomic.Bool
+
+	// Per-operation timeouts (0 = unbounded). Armed as absolute deadlines
+	// before each Recv/Send when the connection supports deadlines.
+	readTimeout  atomic.Int64 // time.Duration
+	writeTimeout atomic.Int64
+
 	sentFrames atomic.Int64
 	sentBytes  atomic.Int64
 }
@@ -35,30 +60,77 @@ func NewPeer(c io.ReadWriteCloser) *Peer {
 	}
 }
 
+// SetTimeouts arms per-operation deadlines: every subsequent Recv must
+// complete within read and every Send within write (0 leaves the
+// direction unbounded). On a heartbeat-carrying link the read timeout is
+// the liveness window — a healthy peer's heartbeats keep each Recv well
+// inside it, so a tripped deadline means the peer is dead or wedged, not
+// merely idle. No-op directions on connections without deadline support.
+func (p *Peer) SetTimeouts(read, write time.Duration) {
+	p.readTimeout.Store(int64(read))
+	p.writeTimeout.Store(int64(write))
+}
+
 // Send writes one frame and flushes it to the connection.
 func (p *Peer) Send(f Frame) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return fmt.Errorf("transport: send frame kind %d: %w", f.Kind, ErrPeerClosed)
+	}
+	if d := time.Duration(p.writeTimeout.Load()); d > 0 {
+		if dl, ok := p.c.(deadliner); ok {
+			dl.SetWriteDeadline(time.Now().Add(d))
+		}
+	}
 	if err := EncodeFrame(p.bw, f); err != nil {
-		return err
+		return p.sendErr(err)
 	}
 	if err := p.bw.Flush(); err != nil {
-		return err
+		return p.sendErr(err)
 	}
 	p.sentFrames.Add(1)
 	p.sentBytes.Add(int64(4 + headerLen + len(f.Payload)))
 	return nil
 }
 
-// Recv reads the next frame. Single-reader only.
-func (p *Peer) Recv() (Frame, error) {
-	return DecodeFrame(p.br)
+// sendErr maps a write error on a concurrently-closed peer to the typed
+// ErrPeerClosed: Close may land between the entry check and the write.
+func (p *Peer) sendErr(err error) error {
+	if p.closed.Load() {
+		return fmt.Errorf("%v: %w", err, ErrPeerClosed)
+	}
+	return err
 }
 
-// Close closes the underlying connection.
+// Recv reads the next frame. Single-reader only.
+func (p *Peer) Recv() (Frame, error) {
+	if d := time.Duration(p.readTimeout.Load()); d > 0 {
+		if dl, ok := p.c.(deadliner); ok {
+			dl.SetReadDeadline(time.Now().Add(d))
+		}
+	}
+	f, err := DecodeFrame(p.br)
+	if err != nil && p.closed.Load() {
+		return f, fmt.Errorf("%v: %w", err, ErrPeerClosed)
+	}
+	return f, err
+}
+
+// Close closes the underlying connection. Idempotent: the shutdown path
+// and the recovery path may both reach it; only the first call touches the
+// connection, the rest return nil.
 func (p *Peer) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	return p.c.Close()
 }
+
+// Closed reports whether Close has been called. A reader seeing an error
+// from Recv can use it to distinguish a local teardown from a genuine
+// connection fault.
+func (p *Peer) Closed() bool { return p.closed.Load() }
 
 // Sent returns the cumulative frames and wire bytes written so far.
 func (p *Peer) Sent() (frames, bytes int64) {

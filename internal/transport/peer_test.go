@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatFrameRoundTrip pins the liveness frame's shape: header
+// only, legal at the codec boundary (maxKind tracks it).
+func TestHeartbeatFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Frame{Kind: KindHeartbeat, Src: 3, Dst: -1}
+	if err := EncodeFrame(&buf, want); err != nil {
+		t.Fatalf("encode heartbeat: %v", err)
+	}
+	got, err := DecodeFrame(&buf)
+	if err != nil {
+		t.Fatalf("decode heartbeat: %v", err)
+	}
+	if got.Kind != KindHeartbeat || got.Src != 3 || got.Dst != -1 || len(got.Payload) != 0 {
+		t.Fatalf("heartbeat mismatch: %+v", got)
+	}
+}
+
+// TestMalformedFrameSentinel checks that the codec's rejection paths all
+// carry ErrMalformedFrame (or ErrFrameTooLarge), so the coordinator can
+// classify stream corruption as a frame-decode failure by errors.Is
+// instead of string matching.
+func TestMalformedFrameSentinel(t *testing.T) {
+	valid := func() []byte {
+		var b bytes.Buffer
+		if err := EncodeFrame(&b, Frame{Kind: KindData, Src: 1, Dst: 2, Tag: 3, Payload: []byte("p")}); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}()
+
+	t.Run("short length", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		binary.BigEndian.PutUint32(b[0:4], headerLen-1)
+		if _, err := DecodeFrame(bytes.NewReader(b)); !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("want ErrMalformedFrame, got %v", err)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[4] = maxKind + 1
+		if _, err := DecodeFrame(bytes.NewReader(b)); !errors.Is(err, ErrMalformedFrame) {
+			t.Fatalf("want ErrMalformedFrame, got %v", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		binary.BigEndian.PutUint32(b[0:4], headerLen+MaxPayload+1)
+		if _, err := DecodeFrame(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("want ErrFrameTooLarge, got %v", err)
+		}
+	})
+}
+
+// TestPeerCloseIdempotent checks Close can be called from multiple
+// teardown paths (router exit, engine shutdown, defer) without error,
+// and that Closed() reports the state.
+func TestPeerCloseIdempotent(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	p := NewPeer(a)
+	if p.Closed() {
+		t.Fatal("fresh peer reports closed")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if !p.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Close(); err != nil {
+			t.Fatalf("repeat Close %d: %v", i, err)
+		}
+	}
+}
+
+// TestPeerSendAfterClose checks the typed write-after-close error: a
+// router racing engine teardown must be able to tell "we closed this"
+// (ErrPeerClosed, silent) from a genuine peer failure (typed loudly).
+func TestPeerSendAfterClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	p := NewPeer(a)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Send(Frame{Kind: KindHeartbeat})
+	if !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("send after close: want ErrPeerClosed, got %v", err)
+	}
+	if _, err := p.Recv(); !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("recv after close: want ErrPeerClosed, got %v", err)
+	}
+}
+
+// TestPeerReadDeadline checks SetTimeouts arms a real read window: a
+// silent peer trips a timeout (net.Error with Timeout() true — the
+// signal the coordinator classifies as heartbeat loss) within the
+// configured bound rather than blocking forever.
+func TestPeerReadDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	p := NewPeer(a)
+	p.SetTimeouts(50*time.Millisecond, 0)
+
+	start := time.Now()
+	_, err := p.Recv()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("recv on a silent link returned without error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net.Error timeout, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire with a 50ms window", elapsed)
+	}
+}

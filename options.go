@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"permcell/internal/comm"
+	"permcell/internal/distrib"
 	"permcell/internal/supervise"
 )
 
@@ -49,6 +50,44 @@ type (
 const (
 	SabotagePanic = supervise.SabotagePanic
 	SabotageNaN   = supervise.SabotageNaN
+)
+
+// Distributed failure types, re-exported from internal/distrib (see
+// DESIGN.md section 14 "Distributed failure model and recovery").
+type (
+	// WorkerFailure is the typed error for a failed coordinator<->worker
+	// link on the tcp transport: process exit, heartbeat timeout, frame
+	// corruption or protocol violation. Under WithSupervisor it heals by
+	// checkpoint rollback; unsupervised it surfaces from Step.
+	WorkerFailure = distrib.WorkerFailure
+	// WorkerFailureKind classifies a WorkerFailure.
+	WorkerFailureKind = distrib.FailureKind
+	// WorkerChaos injects one deterministic worker failure on the tcp
+	// transport (Transport.Chaos), for chaos-testing distributed recovery.
+	WorkerChaos = distrib.WorkerChaos
+)
+
+// WorkerFailure kinds.
+const (
+	WorkerExited           = distrib.FailExited
+	WorkerHeartbeatTimeout = distrib.FailHeartbeat
+	WorkerFrameDecode      = distrib.FailFrameDecode
+	WorkerProtocolError    = distrib.FailProtocol
+)
+
+// WorkerChaos kinds.
+const (
+	ChaosWorkerExit    = distrib.ChaosExit
+	ChaosWorkerStall   = distrib.ChaosStall
+	ChaosWorkerGarbage = distrib.ChaosGarbage
+)
+
+// Worker-recovery policies for SupervisorPolicy.WorkerRecovery: respawn
+// the failed worker at the same process count, or rescale onto the
+// survivors.
+const (
+	RecoverRespawn = supervise.RecoverRespawn
+	RecoverRescale = supervise.RecoverRescale
 )
 
 // Options collects the run parameters beyond the paper coordinates
@@ -102,6 +141,22 @@ type Transport struct {
 	Worker string
 	// Addr is the tcp coordinator listen address (default "127.0.0.1:0").
 	Addr string
+	// HandshakeTimeout bounds each worker's accept+hello+spec exchange
+	// (default 60s); it is passed to exec'd mdrank workers so both sides
+	// give up together.
+	HandshakeTimeout time.Duration
+	// HeartbeatEvery and HeartbeatMisses set the liveness window on every
+	// coordinator<->worker link: a link with no frame for
+	// HeartbeatEvery x HeartbeatMisses is declared dead and surfaces as a
+	// *WorkerFailure instead of hanging the run. Zero selects the
+	// defaults (1s x 5); HeartbeatEvery < 0 disables liveness.
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+	// Chaos injects one deterministic worker failure (exit, stall or
+	// garbage frame) at a configured step, for chaos-testing distributed
+	// recovery. One-shot: a supervised run that heals past the step does
+	// not re-fire it.
+	Chaos *WorkerChaos
 }
 
 // Transport kinds.
@@ -234,10 +289,13 @@ func WithSabotage(s *Sabotage) Option { return func(o *Options) { o.sabotage = s
 
 // WithTransport selects the parallel engine's transport (see Transport).
 // The serial and static engines support only the in-process transport.
-// On the tcp transport WithSabotage and WithSupervisor are rejected at
-// construction (their recovery machinery shares in-process state), and
-// WithOnStep runs on the coordinator's Step path instead of rank 0's
-// goroutine.
+// On the tcp transport WithSabotage is rejected at construction (its
+// injection point is in-process PE state), and WithOnStep runs on the
+// coordinator's Step path instead of rank 0's goroutine. WithSupervisor
+// composes with the tcp transport: worker failures (see WorkerFailure)
+// join panics, guard violations and deadlocks as recoverable classes,
+// healed by rollback plus respawn or rescale
+// (SupervisorPolicy.WorkerRecovery).
 func WithTransport(t Transport) Option { return func(o *Options) { o.transport = t } }
 
 // WithCheckpoint writes a coordinated checkpoint into dir every `every`

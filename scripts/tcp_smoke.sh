@@ -61,4 +61,37 @@ det "$DATA/chan.csv" > "$DATA/golden.csv"
 diff "$DATA/spliced.csv" "$DATA/golden.csv" \
     || die "rescaled trace diverges from the uninterrupted run"
 
+# Self-healing under real process failure: the chaos harness runs the same
+# system supervised over mdrank workers, kills one mid-run, and asserts the
+# healed trace matches the in-process golden bit for bit. Tight heartbeat
+# so detection fits in a smoke-test budget.
+go build -o "$DATA/bin/" ./cmd/chaos
+CHAOS=(-p 4 -m 2 -rho 0.3 -steps 40 -tcp-procs 2 -mdrank "$DATA/bin/mdrank" \
+    -heartbeat-every 50ms -heartbeat-misses 5)
+
+"$DATA/bin/chaos" "${CHAOS[@]}" -worker-kill-at 17 \
+    >"$DATA/kill.log" 2>&1 || die "worker-kill recovery failed: $(cat "$DATA/kill.log")"
+grep -q "recovery identical" "$DATA/kill.log" \
+    || die "worker-kill run did not converge: $(cat "$DATA/kill.log")"
+
+# A stall longer than the heartbeat window (250ms) must surface as a
+# heartbeat-timeout and heal by rescaling to fewer worker processes.
+"$DATA/bin/chaos" "${CHAOS[@]}" -tcp-procs 3 -worker-stall-at 20 \
+    -worker-stall-dur 1s -recover rescale \
+    >"$DATA/stall.log" 2>&1 || die "worker-stall recovery failed: $(cat "$DATA/stall.log")"
+grep -q "heartbeat-timeout" "$DATA/stall.log" \
+    || die "stall was not classified as heartbeat-timeout: $(cat "$DATA/stall.log")"
+
+# A corrupted frame stream must surface as a typed frame-decode failure.
+"$DATA/bin/chaos" "${CHAOS[@]}" -worker-garbage-at 23 \
+    >"$DATA/garbage.log" 2>&1 || die "garbage-frame recovery failed: $(cat "$DATA/garbage.log")"
+grep -q "frame-decode" "$DATA/garbage.log" \
+    || die "garbage was not classified as frame-decode: $(cat "$DATA/garbage.log")"
+
+# No recovery may strand worker processes: everything spawned from this
+# smoke's private bindir must be gone once the runs complete.
+sleep 1
+! pgrep -f "$DATA/bin/mdrank" >/dev/null \
+    || die "orphan mdrank processes survived recovery"
+
 echo "tcp_smoke: OK"

@@ -10,6 +10,7 @@ import (
 
 	"permcell/internal/checkpoint"
 	"permcell/internal/comm"
+	"permcell/internal/distrib"
 	"permcell/internal/supervise"
 )
 
@@ -46,6 +47,12 @@ type supervisedEngine struct {
 	report   supervise.Report
 	dead     error // terminal error; set once, Step refuses afterwards
 
+	// rescaleTo, when > 0, overrides the tcp worker-process count of the
+	// next (and subsequent) incarnations: the rescale recovery policy
+	// shrinks it by one on each worker failure, resuming on the survivors
+	// instead of respawning the dead proc.
+	rescaleTo int
+
 	// Rollback-target escalation: when a rollback from latest.ckpt yields no
 	// forward progress before the next failure, the latest checkpoint itself
 	// is suspect and the next rollback prefers previous.ckpt.
@@ -63,6 +70,12 @@ type supervisedEngine struct {
 func supervised(o Options, startStep int, build func(Options) (Engine, error)) (Engine, error) {
 	if o.ckptDir == "" {
 		return nil, fmt.Errorf("permcell: WithSupervisor requires a checkpoint directory (use WithCheckpoint)")
+	}
+	switch o.supervisor.WorkerRecovery {
+	case "", supervise.RecoverRespawn, supervise.RecoverRescale:
+	default:
+		return nil, fmt.Errorf("permcell: unknown worker recovery policy %q (want %q or %q)",
+			o.supervisor.WorkerRecovery, supervise.RecoverRespawn, supervise.RecoverRescale)
 	}
 	s := &supervisedEngine{
 		pol: *o.supervisor, base: o, dir: o.ckptDir,
@@ -91,6 +104,9 @@ func (s *supervisedEngine) innerOptions(gen int) Options {
 	o.supervisor = nil
 	o.discard = true // the wrapper accumulates; inner engines keep nothing
 	o.onStep = func(st StepStats) { s.admit(gen, st) }
+	if s.rescaleTo > 0 {
+		o.transport.Procs = s.rescaleTo
+	}
 	if s.pol.Guard.Disabled {
 		o.guard = nil
 	} else {
@@ -156,6 +172,17 @@ func (s *supervisedEngine) stepOne() error {
 			return err
 		}
 		s.recordFailure(kind, err)
+		if kind == supervise.EventWorkerFailure && s.pol.WorkerRecovery == supervise.RecoverRescale {
+			// Shed the dead worker's slot: restart on one fewer process
+			// (never below one). TransportProcs reads the failed
+			// incarnation's live count, so repeated failures keep
+			// shrinking the pool instead of resetting it.
+			if tp, ok := s.inner.(interface{ TransportProcs() int }); ok {
+				if procs := tp.TransportProcs(); procs > 1 {
+					s.rescaleTo = procs - 1
+				}
+			}
+		}
 		if s.attempts >= s.pol.MaxRetries {
 			s.report.Exhausted = true
 			s.dead = &supervise.RetryBudgetError{
@@ -215,6 +242,7 @@ func classifyFailure(err error) string {
 	var gv *supervise.GuardViolation
 	var rf *supervise.RankFailure
 	var de *comm.DeadlockError
+	var wf *distrib.WorkerFailure
 	switch {
 	case errors.As(err, &gv):
 		return supervise.EventGuardViolation
@@ -222,6 +250,8 @@ func classifyFailure(err error) string {
 		return supervise.EventRankFailure
 	case errors.As(err, &de):
 		return supervise.EventDeadlock
+	case errors.As(err, &wf):
+		return supervise.EventWorkerFailure
 	}
 	return ""
 }
@@ -234,6 +264,8 @@ func (s *supervisedEngine) recordFailure(kind string, err error) {
 		s.report.RankFailures++
 	case supervise.EventDeadlock:
 		s.report.Deadlocks++
+	case supervise.EventWorkerFailure:
+		s.report.WorkerFailures++
 	}
 	s.event(kind, err.Error(), "", 0)
 }

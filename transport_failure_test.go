@@ -1,0 +1,203 @@
+package permcell_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"permcell"
+)
+
+// Distributed self-healing acceptance tests: a supervised TCP run that
+// loses a worker mid-run must detect the loss as a typed WorkerFailure
+// within the heartbeat window, roll back to the newest checkpoint, heal
+// under the configured policy (respawn at the same process count, or
+// rescale to fewer), and converge to a trace bit-identical to the
+// uninterrupted in-process golden. Workers are goroutine-hosted (real
+// loopback TCP, one test process) so the race detector covers the whole
+// detection and recovery path.
+
+// hbTCP is the tcp option with a tight liveness window (50ms x 5 =
+// 250ms) so detection fits in a test budget, plus one injected failure.
+func hbTCP(procs int, chaos *permcell.WorkerChaos) permcell.Option {
+	return permcell.WithTransport(permcell.Transport{
+		Kind:            permcell.TransportTCP,
+		Procs:           procs,
+		HeartbeatEvery:  50 * time.Millisecond,
+		HeartbeatMisses: 5,
+		Chaos:           chaos,
+	})
+}
+
+// runSupervised drives a supervised engine to completion and returns the
+// result plus the supervision report.
+func runSupervised(t *testing.T, steps int, opts ...permcell.Option) (*permcell.Result, *permcell.SupervisorReport) {
+	t.Helper()
+	base := []permcell.Option{
+		permcell.WithSeed(7),
+		permcell.WithDLB(),
+		permcell.WithWells(2, 1.5),
+		permcell.WithWatchdog(time.Minute),
+	}
+	eng, err := permcell.New(2, 4, 0.3, append(base, opts...)...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := eng.Step(steps); err != nil {
+		eng.Result()
+		t.Fatalf("Step: %v", err)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return res, permcell.SupervisionReport(eng)
+}
+
+func healPolicy(policy string) permcell.Option {
+	return permcell.WithSupervisor(permcell.SupervisorPolicy{
+		MaxRetries:     3,
+		Backoff:        time.Millisecond,
+		WorkerRecovery: policy,
+	})
+}
+
+// TestSupervisedTCPWorkerKill kills one of two workers mid-run under the
+// respawn policy: the healed trace and final state must match the
+// uninterrupted golden bit for bit, with the failure counted in the
+// supervision report.
+func TestSupervisedTCPWorkerKill(t *testing.T) {
+	const steps = 24
+	golden := runTransport(t, steps)
+
+	chaos := &permcell.WorkerChaos{Proc: 1, Step: 11, Kind: permcell.ChaosWorkerExit}
+	res, rep := runSupervised(t, steps,
+		hbTCP(2, chaos),
+		permcell.WithCheckpoint(6, t.TempDir()),
+		healPolicy(permcell.RecoverRespawn),
+	)
+	sameTrace(t, "kill+respawn", golden.Stats, res.Stats)
+	if !reflect.DeepEqual(golden.Final.Pos, res.Final.Pos) {
+		t.Error("healed final positions diverge from golden")
+	}
+	if rep == nil || rep.WorkerFailures != 1 {
+		t.Fatalf("report = %+v, want exactly 1 worker failure", rep)
+	}
+	if rep.Rollbacks == 0 {
+		t.Error("worker kill healed without a rollback")
+	}
+}
+
+// TestSupervisedTCPWorkerRescale kills one of three workers under the
+// rescale policy: the run must finish on fewer processes with an
+// identical trace.
+func TestSupervisedTCPWorkerRescale(t *testing.T) {
+	const steps = 24
+	golden := runTransport(t, steps)
+
+	chaos := &permcell.WorkerChaos{Proc: 1, Step: 11, Kind: permcell.ChaosWorkerExit}
+	res, rep := runSupervised(t, steps,
+		hbTCP(3, chaos),
+		permcell.WithCheckpoint(6, t.TempDir()),
+		healPolicy(permcell.RecoverRescale),
+	)
+	sameTrace(t, "kill+rescale", golden.Stats, res.Stats)
+	if !reflect.DeepEqual(golden.Final.Pos, res.Final.Pos) {
+		t.Error("rescaled final positions diverge from golden")
+	}
+	if rep == nil || rep.WorkerFailures != 1 || rep.Rollbacks == 0 {
+		t.Fatalf("report = %+v, want 1 worker failure and >=1 rollback", rep)
+	}
+}
+
+// TestSupervisedTCPStallHeals runs a stall longer than the heartbeat
+// window under the supervisor: it must classify as heartbeat loss, heal,
+// and converge. A stall is the one failure where the worker process is
+// still alive — recovery must not be confused by its late revival.
+func TestSupervisedTCPStallHeals(t *testing.T) {
+	const steps = 24
+	golden := runTransport(t, steps)
+
+	chaos := &permcell.WorkerChaos{
+		Proc: 1, Step: 11, Kind: permcell.ChaosWorkerStall, Stall: time.Second,
+	}
+	res, rep := runSupervised(t, steps,
+		hbTCP(2, chaos),
+		permcell.WithCheckpoint(6, t.TempDir()),
+		healPolicy(permcell.RecoverRespawn),
+	)
+	sameTrace(t, "stall+respawn", golden.Stats, res.Stats)
+	if rep == nil || rep.WorkerFailures != 1 || rep.Rollbacks == 0 {
+		t.Fatalf("report = %+v, want 1 worker failure and >=1 rollback", rep)
+	}
+}
+
+// TestWorkerFailureTyped pins the unsupervised surface: each chaos kind
+// must fail Step with an errors.As-matchable *WorkerFailure carrying the
+// right taxonomy kind, and detection must be bounded — well inside a few
+// heartbeat windows, not hanging until a watchdog or forever.
+func TestWorkerFailureTyped(t *testing.T) {
+	cases := []struct {
+		name  string
+		chaos *permcell.WorkerChaos
+		want  permcell.WorkerFailureKind
+	}{
+		{"kill", &permcell.WorkerChaos{Proc: 1, Step: 9, Kind: permcell.ChaosWorkerExit}, permcell.WorkerExited},
+		{"stall", &permcell.WorkerChaos{Proc: 1, Step: 9, Kind: permcell.ChaosWorkerStall, Stall: 2 * time.Second}, permcell.WorkerHeartbeatTimeout},
+		{"garbage", &permcell.WorkerChaos{Proc: 1, Step: 9, Kind: permcell.ChaosWorkerGarbage}, permcell.WorkerFrameDecode},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			eng, err := permcell.New(2, 4, 0.3,
+				permcell.WithSeed(7), permcell.WithDLB(), permcell.WithWells(2, 1.5),
+				permcell.WithWatchdog(time.Minute), hbTCP(2, c.chaos))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			start := time.Now()
+			err = eng.Step(24)
+			elapsed := time.Since(start)
+			eng.Result()
+			if err == nil {
+				t.Fatal("Step survived the injected worker failure")
+			}
+			var wf *permcell.WorkerFailure
+			if !errors.As(err, &wf) {
+				t.Fatalf("Step error %v is not a WorkerFailure", err)
+			}
+			if wf.Kind != c.want {
+				t.Errorf("failure kind = %s, want %s (err: %v)", wf.Kind, c.want, err)
+			}
+			if wf.Proc != 1 {
+				t.Errorf("failure proc = %d, want 1", wf.Proc)
+			}
+			if len(wf.Ranks) == 0 {
+				t.Error("failure carries no rank block")
+			}
+			// Bounded detection: the stall case needs its 2s injected sleep
+			// plus the 250ms window; everything else is detected nearly
+			// instantly. 10s of headroom keeps slow CI machines green while
+			// still catching an unbounded (watchdog- or forever-) hang.
+			if elapsed > 10*time.Second {
+				t.Errorf("detection took %v, want bounded by heartbeat window", elapsed)
+			}
+		})
+	}
+}
+
+// TestWorkerStallUnderWindowHeals proves liveness is tuned, not
+// hair-trigger: a stall shorter than the heartbeat window must ride
+// through without tripping failure detection, and the run must still
+// match the golden trace.
+func TestWorkerStallUnderWindowHeals(t *testing.T) {
+	const steps = 24
+	golden := runTransport(t, steps)
+
+	chaos := &permcell.WorkerChaos{
+		Proc: 1, Step: 11, Kind: permcell.ChaosWorkerStall, Stall: 100 * time.Millisecond,
+	}
+	got := runTransport(t, steps, hbTCP(2, chaos))
+	sameTrace(t, "sub-window stall", golden.Stats, got.Stats)
+	sameFinal(t, "sub-window stall", golden, got)
+}
